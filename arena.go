@@ -1,0 +1,161 @@
+package facil
+
+import (
+	"fmt"
+
+	"facil/internal/core"
+	"facil/internal/mapping"
+	"facil/internal/soc"
+	"facil/internal/vm"
+)
+
+// Arena is the user-facing pimalloc walkthrough: a FACIL memory system
+// (internal/core) on one platform. It demonstrates the paper's full
+// Fig. 7 flow — allocate a weight matrix with a PIM-optimized MapID
+// recorded in the page table, then access the same bytes from the SoC by
+// virtual address while the frontend applies the right PA-to-DA mapping
+// per page.
+type Arena struct {
+	sys *core.Facil
+}
+
+// DRAMLocation is a fully resolved burst location.
+type DRAMLocation struct {
+	Channel, Rank, Bank, Row, Column int
+}
+
+// String renders the location.
+func (d DRAMLocation) String() string {
+	return fmt.Sprintf("ch%d rk%d ba%d row%d col%d", d.Channel, d.Rank, d.Bank, d.Row, d.Column)
+}
+
+// Tensor is a pimalloc-allocated weight matrix.
+type Tensor struct {
+	region *vm.Region
+
+	// VA is the virtual base address; the SoC sees the matrix as a
+	// plain row-major array starting here.
+	VA uint64
+	// Rows, Cols, DTypeBytes echo the matrix configuration.
+	Rows, Cols, DTypeBytes int
+	// Bytes is the padded allocation size.
+	Bytes int64
+	// MapID is the PA-to-DA mapping recorded in the PTEs.
+	MapID int
+	// Partitioned reports column-wise partitioning across PUs
+	// (rows larger than the per-bank huge-page share).
+	Partitioned bool
+	// PartitionsPerRow is the partial-sum reduction factor.
+	PartitionsPerRow int
+	// MappingLayout renders the page-offset bit assignment MSB->LSB.
+	MappingLayout string
+	// HugePages is the number of 2 MB pages backing the tensor.
+	HugePages int
+}
+
+// NewArena builds an arena on a platform's memory system (see Platforms).
+func NewArena(platform string) (*Arena, error) {
+	p, err := soc.ByName(platform)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := core.New(p.Spec, core.Options{Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+	return &Arena{sys: sys}, nil
+}
+
+// Pimalloc allocates a rows x cols matrix of dtypeBytes elements with a
+// PIM-optimized mapping.
+func (a *Arena) Pimalloc(rows, cols, dtypeBytes int) (*Tensor, error) {
+	m := mapping.MatrixConfig{Rows: rows, Cols: cols, DTypeBytes: dtypeBytes}
+	reg, err := a.sys.Pimalloc(m)
+	if err != nil {
+		return nil, err
+	}
+	return &Tensor{
+		region:           reg,
+		VA:               reg.VA,
+		Rows:             rows,
+		Cols:             cols,
+		DTypeBytes:       dtypeBytes,
+		Bytes:            reg.Bytes,
+		MapID:            int(reg.MapID),
+		Partitioned:      reg.Selection.Partitioned,
+		PartitionsPerRow: reg.Selection.PartitionsPerRow,
+		MappingLayout:    a.sys.Frontend().Table().Lookup(reg.MapID).String(),
+		HugePages:        len(reg.Pages),
+	}, nil
+}
+
+// Free releases a tensor's huge pages and unmaps it.
+func (a *Arena) Free(t *Tensor) error {
+	if t.region == nil {
+		return fmt.Errorf("facil: tensor already freed")
+	}
+	if err := a.sys.Free(t.region); err != nil {
+		return err
+	}
+	t.region = nil
+	return nil
+}
+
+// Translate resolves a virtual address all the way to its DRAM location:
+// TLB/page walk yields {physical address, MapID}; the frontend mux applies
+// the mapping. This is exactly the access path of paper Fig. 7(b)/(c).
+func (a *Arena) Translate(va uint64) (DRAMLocation, error) {
+	addr, err := a.sys.Resolve(va)
+	if err != nil {
+		return DRAMLocation{}, err
+	}
+	return DRAMLocation{
+		Channel: addr.Channel,
+		Rank:    addr.Rank,
+		Bank:    addr.Bank,
+		Row:     addr.Row,
+		Column:  addr.Column,
+	}, nil
+}
+
+// ElementLocation resolves matrix element (row, col) of a tensor.
+func (a *Arena) ElementLocation(t *Tensor, row, col int) (DRAMLocation, error) {
+	if row < 0 || row >= t.Rows || col < 0 || col >= t.Cols {
+		return DRAMLocation{}, fmt.Errorf("facil: element (%d,%d) outside %dx%d", row, col, t.Rows, t.Cols)
+	}
+	m := mapping.MatrixConfig{Rows: t.Rows, Cols: t.Cols, DTypeBytes: t.DTypeBytes}
+	va := t.VA + uint64(row)*uint64(m.PaddedRowBytes()) + uint64(col)*uint64(t.DTypeBytes)
+	return a.Translate(va)
+}
+
+// ConventionalLocation shows where a physical address would land under
+// the SoC's default mapping — the contrast that motivates FACIL.
+func (a *Arena) ConventionalLocation(va uint64) (DRAMLocation, error) {
+	addr, err := a.sys.ResolveConventional(va)
+	if err != nil {
+		return DRAMLocation{}, err
+	}
+	return DRAMLocation{
+		Channel: addr.Channel,
+		Rank:    addr.Rank,
+		Bank:    addr.Bank,
+		Row:     addr.Row,
+		Column:  addr.Column,
+	}, nil
+}
+
+// MapIDOf returns the MapID the page table records for a virtual address.
+func (a *Arena) MapIDOf(va uint64) (int, error) {
+	tr, err := a.sys.TLB().Translate(va)
+	if err != nil {
+		return 0, err
+	}
+	return int(tr.MapID), nil
+}
+
+// SupportedMappings returns the frontend's mux fan-in (PIM mappings plus
+// the conventional one).
+func (a *Arena) SupportedMappings() int { return a.sys.Frontend().Table().Size() }
+
+// TLBHitRate reports the arena TLB's hit rate so far.
+func (a *Arena) TLBHitRate() float64 { return a.sys.TLB().Stats().HitRate() }

@@ -1,0 +1,123 @@
+// Command facilsim regenerates the paper's tables and figures from the
+// simulation stack.
+//
+// Usage:
+//
+//	facilsim [-list] [-queries N] [-seed S] [-scale K] [experiment ...]
+//
+// With no arguments every experiment runs in DESIGN.md order. Experiment
+// identifiers: fig2a fig2b fig3 fig6 tab1 tab2 tab3 fig13 fig14 fig15
+// fig16 maxmap ablations cosched quant pimstyle energy serving.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"facil/internal/engine"
+	"facil/internal/exp"
+	"facil/internal/workload"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment identifiers and exit")
+	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned text tables")
+	queries := flag.Int("queries", 0, "dataset experiments: queries per dataset (0 = default)")
+	seed := flag.Int64("seed", 0, "dataset experiments: sampling seed (0 = default)")
+	scale := flag.Int64("scale", 0, "tab1: memory down-scale factor (0 = default 8, 1 = paper-size)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: facilsim [flags] [experiment ...]\n\nexperiments: %s\n\n",
+			strings.Join(exp.AllIDs, " "))
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, id := range exp.AllIDs {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = exp.AllIDs
+	}
+	lab := exp.NewLab(engine.DefaultConfig())
+	for _, id := range ids {
+		start := time.Now()
+		tabs, err := run(lab, id, *queries, *seed, *scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "facilsim: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for _, t := range tabs {
+			if *csvOut {
+				fmt.Printf("# %s\n", t.Title)
+				if err := t.WriteCSV(os.Stdout); err != nil {
+					fmt.Fprintf(os.Stderr, "facilsim: %s: %v\n", id, err)
+					os.Exit(1)
+				}
+				fmt.Println()
+			} else {
+				fmt.Println(t.String())
+			}
+		}
+		if !*csvOut {
+			fmt.Printf("[%s finished in %.1fs]\n\n", id, time.Since(start).Seconds())
+		}
+	}
+}
+
+// run dispatches one experiment, honoring the override flags for the
+// parameterizable ones.
+func run(lab *exp.Lab, id string, queries int, seed, scale int64) ([]exp.Table, error) {
+	switch id {
+	case "tab1":
+		cfg := exp.DefaultTable1Config()
+		if scale > 0 {
+			cfg.Scale = scale
+		}
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		t, err := exp.Table1(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []exp.Table{t}, nil
+	case "fig15", "fig16":
+		if queries <= 0 && seed == 0 {
+			return lab.Run(id)
+		}
+		cfg := exp.DefaultDatasetConfig()
+		if queries > 0 {
+			cfg.Queries = queries
+		}
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		var out []exp.Table
+		for _, spec := range []workload.Spec{workload.AlpacaSpec(), workload.AutocompleteSpec()} {
+			var (
+				t   exp.Table
+				err error
+			)
+			if id == "fig15" {
+				t, err = lab.Fig15(spec, cfg)
+			} else {
+				t, err = lab.Fig16(spec, cfg)
+			}
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, t)
+		}
+		return out, nil
+	default:
+		return lab.Run(id)
+	}
+}

@@ -1,0 +1,67 @@
+// Chatbot: the paper's short-conversation scenario. A voice assistant
+// needs its first token within ~250 ms to feel human; this example
+// compares TTFT and TTLT of every design on an Alpaca-style conversation
+// workload running Llama3-8B on the Jetson AGX Orin.
+//
+// Run with: go run ./examples/chatbot
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"facil"
+)
+
+func main() {
+	sys, err := facil.NewSystem("NVIDIA Jetson AGX Orin 64GB", "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("platform: %s, model: %s\n\n", sys.PlatformName(), sys.ModelName())
+
+	// A short conversation: the user asks a question (22 tokens), the
+	// assistant answers with 80 tokens.
+	const prefill, decode = 22, 80
+
+	fmt.Printf("%-20s %12s %12s %10s\n", "design", "TTFT", "TTLT", "weights")
+	var baseTTFT, baseTTLT float64
+	for _, d := range facil.Designs() {
+		ttft, err := sys.TTFT(d, prefill)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ttlt, err := sys.TTLT(d, prefill, decode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if d == facil.HybridStatic {
+			baseTTFT, baseTTLT = ttft, ttlt
+		}
+		fmt.Printf("%-20s %9.1f ms %9.1f ms %7.1f GB\n",
+			d, 1e3*ttft, 1e3*ttlt, float64(sys.WeightFootprint(d))/1e9)
+	}
+
+	ttft, err := sys.TTFT(facil.FACIL, prefill)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ttlt, err := sys.TTLT(facil.FACIL, prefill, decode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nFACIL vs SoC-PIM hybrid baseline: TTFT %.2fx, TTLT %.2fx\n",
+		facil.Speedup(baseTTFT, ttft), facil.Speedup(baseTTLT, ttlt))
+
+	const target = 0.25 // the ~250 ms voice-assistant budget
+	verdict := func(t float64) string {
+		if t <= target {
+			return "within the 250 ms voice budget"
+		}
+		return "misses the 250 ms voice budget"
+	}
+	base := verdict(baseTTFT)
+	ours := verdict(ttft)
+	fmt.Printf("baseline first token: %.0f ms (%s)\n", 1e3*baseTTFT, base)
+	fmt.Printf("FACIL first token:    %.0f ms (%s)\n", 1e3*ttft, ours)
+}

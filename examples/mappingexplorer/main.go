@@ -1,0 +1,66 @@
+// Mappingexplorer: enumerate FACIL's mapping family for any platform and
+// show which MapID the selector picks for each weight matrix of a model.
+//
+// Run with: go run ./examples/mappingexplorer [platform-index]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"facil/internal/exp"
+	"facil/internal/mapping"
+	"facil/internal/soc"
+	"facil/internal/vm"
+)
+
+func main() {
+	platforms := soc.All()
+	idx := 0
+	if len(os.Args) > 1 {
+		v, err := strconv.Atoi(os.Args[1])
+		if err != nil || v < 0 || v >= len(platforms) {
+			log.Fatalf("usage: mappingexplorer [0-%d]", len(platforms)-1)
+		}
+		idx = v
+	}
+	p := platforms[idx]
+	model := exp.PlatformModel(p)
+	g := p.Spec.Geometry
+	memCfg := mapping.MemoryConfig{Geometry: g, HugePageBytes: vm.HugePageBytes}
+	chunk := mapping.AiMChunk(g)
+
+	fmt.Printf("platform: %s\n", p.Name)
+	fmt.Printf("memory:   %s (%d channels x %d ranks x %d banks = %d PUs)\n",
+		p.Spec.Name, g.Channels, g.RanksPerChannel, g.BanksPerRank, g.TotalBanks())
+	fmt.Printf("chunk:    %s (%d, %d) at FP16\n\n", chunk.Style, chunk.Rows, chunk.ColElems(2))
+
+	table, err := mapping.NewTable(memCfg, chunk)
+	if err != nil {
+		log.Fatal(err)
+	}
+	min, max := table.Range()
+	fmt.Printf("mapping family: MapID %d..%d (+conventional) -> %d mux inputs\n\n", min, max, table.Size())
+	fmt.Println("page-offset bit layouts (MSB -> LSB):")
+	fmt.Printf("  %-12s %s\n", "conventional", table.Conventional())
+	for id := min; id <= max; id++ {
+		fmt.Printf("  MapID %-6d %s\n", id, table.Lookup(id))
+	}
+
+	fmt.Printf("\nselector decisions for %s weight matrices:\n", model.Name)
+	fmt.Printf("  %-12s %-14s %-7s %-11s %s\n", "matrix", "shape", "MapID", "partitioned", "rows/pass")
+	for _, w := range model.WeightMatrices() {
+		sel, err := mapping.SelectMapping(w.Matrix(model.DTypeBytes), memCfg, chunk)
+		if err != nil {
+			log.Fatal(err)
+		}
+		part := "no"
+		if sel.Partitioned {
+			part = fmt.Sprintf("x%d", sel.PartitionsPerRow)
+		}
+		fmt.Printf("  %-12s %-14s %-7d %-11s %d\n",
+			w.Name, fmt.Sprintf("%dx%d", w.Out, w.In), sel.ID, part, sel.RowsPerPass)
+	}
+}

@@ -1,0 +1,3 @@
+module facil
+
+go 1.22

@@ -1,0 +1,239 @@
+package addr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"facil/internal/dram"
+)
+
+func testGeom() dram.Geometry {
+	return dram.Geometry{
+		Channels:        4,
+		RanksPerChannel: 2,
+		BanksPerRank:    8,
+		Rows:            1 << 14,
+		RowBytes:        2048,
+		TransferBytes:   32,
+	}
+}
+
+func TestFromLayoutConventional(t *testing.T) {
+	g := testGeom()
+	m, err := Conventional(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LSB-first: offset(5), channel(2), bank(3), column(6), rank(1), row(14).
+	a, off := m.Translate(0)
+	if a != (dram.Addr{}) || off != 0 {
+		t.Errorf("Translate(0) = %v off %d, want zero", a, off)
+	}
+	// Bit 5 flips the channel.
+	a, _ = m.Translate(1 << 5)
+	if a.Channel != 1 {
+		t.Errorf("bit 5 should flip channel, got %v", a)
+	}
+	// Bit 7 (channel MSB+1) flips the bank.
+	a, _ = m.Translate(1 << 7)
+	if a.Bank != 1 {
+		t.Errorf("bit 7 should flip bank LSB, got %v", a)
+	}
+	// Bit 10 flips column.
+	a, _ = m.Translate(1 << 10)
+	if a.Column != 1 {
+		t.Errorf("bit 10 should flip column LSB, got %v", a)
+	}
+	// Bit 16 flips rank.
+	a, _ = m.Translate(1 << 16)
+	if a.Rank != 1 {
+		t.Errorf("bit 16 should flip rank, got %v", a)
+	}
+	// Bit 17 flips row LSB.
+	a, _ = m.Translate(1 << 17)
+	if a.Row != 1 {
+		t.Errorf("bit 17 should flip row LSB, got %v", a)
+	}
+}
+
+func TestTranslateInverseRoundTrip(t *testing.T) {
+	g := testGeom()
+	m, err := Conventional(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	max := uint64(g.CapacityBytes())
+	for i := 0; i < 10000; i++ {
+		pa := rng.Uint64() % max
+		a, off := m.Translate(pa)
+		if !a.Valid(g) {
+			t.Fatalf("Translate(%#x) = %v invalid", pa, a)
+		}
+		back := m.Inverse(a, off)
+		if back != pa {
+			t.Fatalf("Inverse(Translate(%#x)) = %#x", pa, back)
+		}
+	}
+}
+
+func TestTranslateInverseProperty(t *testing.T) {
+	g := testGeom()
+	m, err := Conventional(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := uint64(g.CapacityBytes())
+	f := func(pa uint64) bool {
+		pa %= max
+		a, off := m.Translate(pa)
+		return a.Valid(g) && m.Inverse(a, off) == pa
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTranslateBijectionSample(t *testing.T) {
+	// On a tiny geometry, Translate must be a bijection over the whole
+	// address space.
+	g := dram.Geometry{
+		Channels: 2, RanksPerChannel: 1, BanksPerRank: 2,
+		Rows: 4, RowBytes: 64, TransferBytes: 32,
+	}
+	m, err := Conventional(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.CapacityBytes()
+	seen := make(map[dram.Addr]map[int]bool)
+	for pa := int64(0); pa < n; pa++ {
+		a, off := m.Translate(uint64(pa))
+		if !a.Valid(g) {
+			t.Fatalf("invalid address for pa %d: %v", pa, a)
+		}
+		if seen[a] == nil {
+			seen[a] = map[int]bool{}
+		}
+		if seen[a][off] {
+			t.Fatalf("pa %d collides at %v off %d", pa, a, off)
+		}
+		seen[a][off] = true
+	}
+	if int64(len(seen))*int64(g.TransferBytes) != n {
+		t.Errorf("bijection covered %d burst slots, want %d", len(seen), n/int64(g.TransferBytes))
+	}
+}
+
+func TestNewRejectsBadSegments(t *testing.T) {
+	g := testGeom()
+	// Missing a row bit.
+	segs := []Segment{
+		{FieldOffset, g.OffsetBits()},
+		{FieldChannel, g.ChannelBits()},
+		{FieldBank, g.BankBits()},
+		{FieldColumn, g.ColumnBits()},
+		{FieldRank, g.RankBits()},
+		{FieldRow, g.RowBits() - 1},
+	}
+	if _, err := New(g, "bad", segs); err == nil {
+		t.Error("under-covered row field accepted")
+	}
+	segs[len(segs)-1].Bits = g.RowBits() + 1
+	if _, err := New(g, "bad", segs); err == nil {
+		t.Error("over-covered row field accepted")
+	}
+	if _, err := New(g, "bad", []Segment{{FieldRow, -1}}); err == nil {
+		t.Error("negative segment accepted")
+	}
+}
+
+func TestSplitFieldSegments(t *testing.T) {
+	// FACIL-style: row bits split below and above the bank bits.
+	g := testGeom()
+	segs := []Segment{
+		{FieldOffset, g.OffsetBits()},
+		{FieldColumn, g.ColumnBits()},
+		{FieldRow, 3}, // row LSBs inside the page offset
+		{FieldBank, g.BankBits()},
+		{FieldRank, g.RankBits()},
+		{FieldChannel, g.ChannelBits()},
+		{FieldRow, g.RowBits() - 3},
+	}
+	m, err := New(g, "split-row", segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row LSB sits right above the column bits (bit 11).
+	a, _ := m.Translate(1 << 11)
+	if a.Row != 1 {
+		t.Errorf("bit 11 should be row bit 0, got %v", a)
+	}
+	// Row bit 3 sits above the channel bits (bit 11+3+3+1+2 = 20).
+	a, _ = m.Translate(1 << 20)
+	if a.Row != 8 {
+		t.Errorf("bit 20 should be row bit 3, got %v", a)
+	}
+	// Round-trip still holds.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		pa := rng.Uint64() % uint64(g.CapacityBytes())
+		a, off := m.Translate(pa)
+		if m.Inverse(a, off) != pa {
+			t.Fatalf("round trip failed at %#x", pa)
+		}
+	}
+}
+
+func TestFromLayoutErrors(t *testing.T) {
+	g := testGeom()
+	if _, err := FromLayout(g, "row:rank:column:bank:chnnel"); err == nil {
+		t.Error("typo field accepted")
+	}
+}
+
+func TestMappingString(t *testing.T) {
+	g := testGeom()
+	m, err := Conventional(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "row[14]:rank[1]:column[6]:bank[3]:channel[2]:offset[5]"
+	if got := m.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestFieldKindString(t *testing.T) {
+	names := map[FieldKind]string{
+		FieldOffset: "offset", FieldColumn: "column", FieldBank: "bank",
+		FieldRank: "rank", FieldChannel: "channel", FieldRow: "row",
+	}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+		back, err := parseFieldKind(want)
+		if err != nil || back != k {
+			t.Errorf("parseFieldKind(%q) = %v, %v", want, back, err)
+		}
+	}
+}
+
+func TestSequentialStreamInterleavesChannelsFirst(t *testing.T) {
+	g := testGeom()
+	m, err := Conventional(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consecutive bursts must rotate through all channels before
+	// repeating one — that is what makes the conventional mapping
+	// bandwidth-optimal for sequential streams.
+	for i := 0; i < g.Channels; i++ {
+		a, _ := m.Translate(uint64(i * g.TransferBytes))
+		if a.Channel != i {
+			t.Errorf("burst %d on channel %d, want %d", i, a.Channel, i)
+		}
+	}
+}

@@ -1,0 +1,265 @@
+// Package core assembles FACIL's primary contribution into one system
+// object: the pimalloc allocation path (internal/vm), the MapID-aware
+// memory-controller frontend (internal/mc), the mapping family
+// (internal/mapping) and the PIM device model (internal/pim), wired
+// together exactly as in paper Fig. 7:
+//
+//	user ── pimalloc(matrix) ──► mapping selector ──► OS allocator
+//	         │                                         │ PTE{PFN, MapID}
+//	         ▼                                         ▼
+//	virtual address ──► TLB/page walk ──► MC frontend mux ──► DRAM
+//
+// The Facil type provides programmer-transparent dual-view access: SoC
+// code addresses tensors through contiguous virtual addresses while the
+// same bytes satisfy every PIM placement requirement.
+package core
+
+import (
+	"fmt"
+
+	"facil/internal/dram"
+	"facil/internal/mapping"
+	"facil/internal/mc"
+	"facil/internal/pim"
+	"facil/internal/vm"
+)
+
+// Facil is one FACIL-enabled memory system.
+type Facil struct {
+	spec  dram.Spec
+	mem   mapping.MemoryConfig
+	chunk mapping.ChunkConfig
+
+	space *vm.AddressSpace
+	tlb   *vm.TLB
+	front *mc.Frontend
+	dev   *pim.Device
+}
+
+// Options tunes construction.
+type Options struct {
+	// PIM overrides the default AiM device configuration.
+	PIM *pim.Config
+	// TLBSets and TLBWays size the TLB (defaults 64x4).
+	TLBSets, TLBWays int
+	// Seed drives the allocator's randomized choices.
+	Seed int64
+}
+
+// New builds a FACIL system over a DRAM spec.
+func New(spec dram.Spec, opts Options) (*Facil, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	pimCfg := pim.DefaultAiM(spec.Geometry)
+	if opts.PIM != nil {
+		pimCfg = *opts.PIM
+	}
+	if opts.TLBSets <= 0 {
+		opts.TLBSets = 64
+	}
+	if opts.TLBWays <= 0 {
+		opts.TLBWays = 4
+	}
+	f := &Facil{
+		spec:  spec,
+		mem:   mapping.MemoryConfig{Geometry: spec.Geometry, HugePageBytes: vm.HugePageBytes},
+		chunk: pimCfg.Chunk,
+	}
+	var err error
+	if f.space, err = vm.NewAddressSpace(f.mem, f.chunk, opts.Seed); err != nil {
+		return nil, err
+	}
+	if f.tlb, err = vm.NewTLB(opts.TLBSets, opts.TLBWays, f.space.PageTable()); err != nil {
+		return nil, err
+	}
+	table, err := mapping.NewTable(f.mem, f.chunk)
+	if err != nil {
+		return nil, err
+	}
+	if f.front, err = mc.NewFrontend(spec, table); err != nil {
+		return nil, err
+	}
+	if f.dev, err = pim.NewDevice(spec, pimCfg); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Spec returns the DRAM spec.
+func (f *Facil) Spec() dram.Spec { return f.spec }
+
+// Memory returns the memory configuration.
+func (f *Facil) Memory() mapping.MemoryConfig { return f.mem }
+
+// Frontend exposes the memory-controller frontend.
+func (f *Facil) Frontend() *mc.Frontend { return f.front }
+
+// AddressSpace exposes the OS allocation state.
+func (f *Facil) AddressSpace() *vm.AddressSpace { return f.space }
+
+// TLB exposes the translation cache.
+func (f *Facil) TLB() *vm.TLB { return f.tlb }
+
+// PIM exposes the device model.
+func (f *Facil) PIM() *pim.Device { return f.dev }
+
+// Pimalloc allocates a matrix with a PIM-optimized mapping (Fig. 7(a)).
+func (f *Facil) Pimalloc(m mapping.MatrixConfig) (*vm.Region, error) {
+	return f.space.Pimalloc(m)
+}
+
+// Alloc allocates conventionally mapped memory.
+func (f *Facil) Alloc(bytes int64) (*vm.Region, error) {
+	return f.space.Alloc(bytes)
+}
+
+// Free releases a region and performs the TLB shootdown so no stale
+// translation (or stale MapID) survives the unmap.
+func (f *Facil) Free(r *vm.Region) error {
+	if err := f.space.Free(r); err != nil {
+		return err
+	}
+	f.tlb.Flush()
+	return nil
+}
+
+// Resolve translates a virtual address to its DRAM location: TLB/page
+// walk yields {PA, MapID}; the frontend mux applies the mapping
+// (Fig. 7(b)/(c)).
+func (f *Facil) Resolve(va uint64) (dram.Addr, error) {
+	tr, err := f.tlb.Translate(va)
+	if err != nil {
+		return dram.Addr{}, err
+	}
+	return f.front.Translate(tr.Phys, tr.MapID), nil
+}
+
+// ResolveConventional shows where the same virtual address would land if
+// the page used the default mapping — the contrast FACIL's mux resolves.
+func (f *Facil) ResolveConventional(va uint64) (dram.Addr, error) {
+	tr, err := f.tlb.Translate(va)
+	if err != nil {
+		return dram.Addr{}, err
+	}
+	return f.front.Translate(tr.Phys, mapping.ConventionalMapID), nil
+}
+
+// Access drives one burst access through the timed frontend: translation
+// plus DRAM scheduling. Call Drain to complete outstanding requests.
+func (f *Facil) Access(va uint64, write bool, arrival int64) (*dram.Request, error) {
+	tr, err := f.tlb.Translate(va)
+	if err != nil {
+		return nil, err
+	}
+	return f.front.Access(tr.Phys, tr.MapID, write, arrival)
+}
+
+// Drain completes all outstanding frontend requests.
+func (f *Facil) Drain() int64 { return f.front.Drain() }
+
+// PlacementReport summarizes VerifyPlacement.
+type PlacementReport struct {
+	// HugePages checked.
+	HugePages int
+	// RowsPerPass is the lock-step tile height.
+	RowsPerPass int
+	// ChunksChecked counts verified chunk placements.
+	ChunksChecked int
+}
+
+// VerifyPlacement checks, through the real page tables and the frontend
+// mux, that a pimalloc'd matrix satisfies the paper's three placement
+// requirements (Sec. II-C) in physical memory:
+//
+//  1. each chunk is contiguous inside one DRAM row of one bank,
+//  2. each matrix row (or row partition) stays within one bank, and
+//  3. the k-th chunks of the rows of one pass sit at identical
+//     (row, column) coordinates in pairwise-distinct banks, enabling
+//     lock-step all-bank execution.
+//
+// Because huge pages are physically scattered, the lock-step property
+// must hold within every huge page independently — which it does, since
+// one pass's rows exactly fill one huge page.
+func (f *Facil) VerifyPlacement(reg *vm.Region, m mapping.MatrixConfig) (PlacementReport, error) {
+	sel, err := mapping.SelectMapping(m, f.mem, f.chunk)
+	if err != nil {
+		return PlacementReport{}, err
+	}
+	if sel.ID != reg.MapID {
+		return PlacementReport{}, fmt.Errorf("core: region MapID %d does not match selector %d", reg.MapID, sel.ID)
+	}
+	g := f.spec.Geometry
+	rowBytes := int64(m.PaddedRowBytes())
+	partBytes := rowBytes / int64(sel.PartitionsPerRow)
+	chunkBytes := int64(f.chunk.ColBytes)
+	report := PlacementReport{HugePages: len(reg.Pages), RowsPerPass: sel.RowsPerPass}
+
+	totalRows := int64(m.Rows)
+	pass := int64(sel.RowsPerPass)
+	for passStart := int64(0); passStart < totalRows; passStart += pass {
+		rows := pass
+		if passStart+rows > totalRows {
+			rows = totalRows - passStart
+		}
+		// Reference coordinates per chunk index from the first row
+		// of the pass.
+		type coord struct{ row, col int }
+		var refs []coord
+		seen := make(map[int]map[int]bool) // chunk index -> banks
+		for r := int64(0); r < rows; r++ {
+			va := reg.VA + uint64((passStart+r)*rowBytes)
+			for part := int64(0); part < int64(sel.PartitionsPerRow); part++ {
+				partBank := -1
+				for c := int64(0); c*chunkBytes < partBytes; c++ {
+					base := va + uint64(part*partBytes+c*chunkBytes)
+					first, err := f.Resolve(base)
+					if err != nil {
+						return report, err
+					}
+					// (1) chunk contiguity.
+					for b := int64(0); b < chunkBytes; b += int64(g.TransferBytes) {
+						a, err := f.Resolve(base + uint64(b))
+						if err != nil {
+							return report, err
+						}
+						if a.GlobalBank(g) != first.GlobalBank(g) || a.Row != first.Row {
+							return report, fmt.Errorf("core: chunk at va %#x scattered: %v vs %v", base, a, first)
+						}
+						if a.Column != first.Column+int(b)/g.TransferBytes {
+							return report, fmt.Errorf("core: chunk at va %#x non-contiguous columns", base)
+						}
+					}
+					// (2) row partition bank consistency.
+					if partBank == -1 {
+						partBank = first.GlobalBank(g)
+					} else if partBank != first.GlobalBank(g) {
+						return report, fmt.Errorf("core: row %d partition %d spans banks", passStart+r, part)
+					}
+					// (3) lock-step alignment across the pass.
+					ci := int(part*(partBytes/chunkBytes) + c)
+					if r == 0 {
+						refs = append(refs, coord{first.Row, first.Column})
+						seen[ci] = map[int]bool{}
+					} else if ci < len(refs) {
+						if first.Row != refs[ci].row || first.Column != refs[ci].col {
+							return report, fmt.Errorf("core: row %d chunk %d misaligned: (%d,%d) vs (%d,%d)",
+								passStart+r, ci, first.Row, first.Column, refs[ci].row, refs[ci].col)
+						}
+					}
+					if seen[ci][first.GlobalBank(g)] {
+						return report, fmt.Errorf("core: pass at row %d: chunk %d bank collision", passStart, ci)
+					}
+					seen[ci][first.GlobalBank(g)] = true
+					report.ChunksChecked++
+				}
+			}
+		}
+	}
+	return report, nil
+}
+
+// GEMVSeconds runs the PIM device on a matrix placement.
+func (f *Facil) GEMVSeconds(m mapping.MatrixConfig) (float64, error) {
+	return f.dev.GEMVSeconds(m)
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"testing"
+
+	"facil/internal/dram"
+	"facil/internal/mapping"
+	"facil/internal/pim"
+	"facil/internal/vm"
+)
+
+func testFacil(t *testing.T) *Facil {
+	t.Helper()
+	spec := dram.MustLPDDR5("core test", 64, 6400, 2, 2<<30) // 4ch x 2rk x 16ba
+	f, err := New(spec, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestEndToEndPimallocPlacement(t *testing.T) {
+	f := testFacil(t)
+	// Multi-huge-page matrix with physically scattered pages: the
+	// placement invariants must hold through the real page tables.
+	m := mapping.MatrixConfig{Rows: 2048, Cols: 4096, DTypeBytes: 2} // 16 MiB
+	reg, err := f.Pimalloc(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := f.VerifyPlacement(reg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HugePages != 8 {
+		t.Errorf("HugePages = %d, want 8", rep.HugePages)
+	}
+	if rep.ChunksChecked == 0 {
+		t.Error("no chunks verified")
+	}
+}
+
+func TestEndToEndPlacementWithFragmentedMemory(t *testing.T) {
+	// Allocate and free churn first so the huge pages are genuinely
+	// scattered, then verify placement still holds per page.
+	f := testFacil(t)
+	var regions []*vm.Region
+	for i := 0; i < 6; i++ {
+		r, err := f.Alloc(3 << 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		regions = append(regions, r)
+	}
+	// Free every other one to punch holes.
+	for i := 0; i < len(regions); i += 2 {
+		if err := f.Free(regions[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := mapping.MatrixConfig{Rows: 1024, Cols: 4096, DTypeBytes: 2}
+	reg, err := f.Pimalloc(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.VerifyPlacement(reg, m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyPlacementPartitioned(t *testing.T) {
+	f := testFacil(t)
+	// 32 KB rows > 16 KB per-bank share: partitioned placement.
+	m := mapping.MatrixConfig{Rows: 256, Cols: 16384, DTypeBytes: 2}
+	reg, err := f.Pimalloc(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reg.Selection.Partitioned {
+		t.Fatal("expected partitioned placement")
+	}
+	if _, err := f.VerifyPlacement(reg, m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyPlacementRejectsWrongRegion(t *testing.T) {
+	f := testFacil(t)
+	m := mapping.MatrixConfig{Rows: 1024, Cols: 1024, DTypeBytes: 2}
+	reg, err := f.Pimalloc(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := mapping.MatrixConfig{Rows: 256, Cols: 16384, DTypeBytes: 2}
+	if _, err := f.VerifyPlacement(reg, other); err == nil {
+		t.Error("mismatched matrix accepted")
+	}
+}
+
+func TestResolveDualView(t *testing.T) {
+	f := testFacil(t)
+	m := mapping.MatrixConfig{Rows: 512, Cols: 4096, DTypeBytes: 2}
+	reg, err := f.Pimalloc(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pimView, err := f.Resolve(reg.VA + 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	convView, err := f.ResolveConventional(reg.VA + 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pimView == convView {
+		t.Error("PIM and conventional views agree; mux has no effect")
+	}
+	// Conventionally allocated memory resolves identically both ways.
+	plain, err := f.Alloc(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := f.Resolve(plain.VA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.ResolveConventional(plain.VA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("conventional region resolved differently through the mux")
+	}
+}
+
+func TestTimedAccessPath(t *testing.T) {
+	f := testFacil(t)
+	m := mapping.MatrixConfig{Rows: 64, Cols: 1024, DTypeBytes: 2}
+	reg, err := f.Pimalloc(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reqs []*dram.Request
+	for i := 0; i < 128; i++ {
+		r, err := f.Access(reg.VA+uint64(i*32), i%2 == 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs = append(reqs, r)
+	}
+	done := f.Drain()
+	if done <= 0 {
+		t.Fatal("no completion")
+	}
+	for _, r := range reqs {
+		if r.Done <= 0 {
+			t.Fatal("request never completed")
+		}
+	}
+	if _, err := f.Access(0xdead<<32, false, 0); err == nil {
+		t.Error("unmapped access accepted")
+	}
+}
+
+func TestFreeShootsDownTLB(t *testing.T) {
+	f := testFacil(t)
+	m := mapping.MatrixConfig{Rows: 256, Cols: 1024, DTypeBytes: 2}
+	reg, err := f.Pimalloc(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the TLB with the region's translation.
+	if _, err := f.Resolve(reg.VA); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Free(reg); err != nil {
+		t.Fatal(err)
+	}
+	// The stale cached translation must not survive the unmap.
+	if _, err := f.Resolve(reg.VA); err == nil {
+		t.Error("TLB served a translation for freed memory")
+	}
+}
+
+func TestGEMVThroughCore(t *testing.T) {
+	f := testFacil(t)
+	s, err := f.GEMVSeconds(mapping.MatrixConfig{Rows: 1024, Cols: 4096, DTypeBytes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s <= 0 {
+		t.Error("non-positive GEMV latency")
+	}
+}
+
+func TestOptionsOverrides(t *testing.T) {
+	spec := dram.MustLPDDR5("core opts", 64, 6400, 2, 2<<30)
+	cfg := pim.DefaultHBMPIM(spec.Geometry)
+	f, err := New(spec, Options{PIM: &cfg, TLBSets: 8, TLBWays: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.PIM().Config().Chunk.Style != mapping.StyleHBMPIM {
+		t.Error("PIM override lost")
+	}
+	bad := spec
+	bad.Geometry.Rows = 0
+	if _, err := New(bad, Options{}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}

@@ -1,0 +1,102 @@
+package dram
+
+// bankState is the row-buffer state of a single bank.
+type bankState int
+
+const (
+	bankIdle bankState = iota // no row open (precharged)
+	bankActive
+)
+
+// bank models one DRAM bank: its open row and the earliest cycles at which
+// the next command of each class may be issued to it.
+type bank struct {
+	state   bankState
+	openRow int
+
+	// Earliest issue cycles for the respective commands, derived from
+	// timing constraints triggered by earlier commands.
+	nextACT   int64
+	nextRD    int64
+	nextWR    int64
+	nextPRE   int64
+	lastACTAt int64
+
+	// Statistics.
+	activations int64
+	rowHits     int64
+	rowMisses   int64
+}
+
+func newBank() bank {
+	return bank{state: bankIdle, openRow: -1}
+}
+
+// canIssue reports the earliest cycle (>= now) at which cmd targeting row
+// may be issued to this bank, and whether the command is legal in the
+// current state. It does not account for rank- or channel-level
+// constraints; the channel engine layers those on top.
+func (b *bank) earliest(cmd CommandKind, row int) (int64, bool) {
+	switch cmd {
+	case CmdACT:
+		if b.state != bankIdle {
+			return 0, false
+		}
+		return b.nextACT, true
+	case CmdPRE:
+		if b.state != bankActive {
+			return 0, false
+		}
+		return b.nextPRE, true
+	case CmdRD, CmdMACab:
+		if b.state != bankActive || b.openRow != row {
+			return 0, false
+		}
+		return b.nextRD, true
+	case CmdWR:
+		if b.state != bankActive || b.openRow != row {
+			return 0, false
+		}
+		return b.nextWR, true
+	default:
+		return 0, false
+	}
+}
+
+// apply updates the bank state for cmd issued at cycle `at`.
+func (b *bank) apply(cmd CommandKind, row int, at int64, t *Timing) {
+	switch cmd {
+	case CmdACT:
+		b.state = bankActive
+		b.openRow = row
+		b.lastACTAt = at
+		b.activations++
+		b.nextRD = maxi64(b.nextRD, at+int64(t.TRCD))
+		b.nextWR = maxi64(b.nextWR, at+int64(t.TRCD))
+		b.nextPRE = maxi64(b.nextPRE, at+int64(t.TRAS))
+		b.nextACT = maxi64(b.nextACT, at+int64(t.TRC))
+	case CmdPRE:
+		b.state = bankIdle
+		b.openRow = -1
+		b.nextACT = maxi64(b.nextACT, at+int64(t.TRP))
+	case CmdRD, CmdMACab:
+		b.nextRD = maxi64(b.nextRD, at+int64(t.TCCD))
+		b.nextWR = maxi64(b.nextWR, at+int64(t.TCCD)+int64(t.TRTW))
+		b.nextPRE = maxi64(b.nextPRE, at+int64(t.TRTP))
+	case CmdWR:
+		b.nextWR = maxi64(b.nextWR, at+int64(t.TCCD))
+		b.nextRD = maxi64(b.nextRD, at+int64(t.TCCD)+int64(t.TWTR))
+		b.nextPRE = maxi64(b.nextPRE, at+int64(t.TWR))
+	case CmdREFab:
+		b.state = bankIdle
+		b.openRow = -1
+		b.nextACT = maxi64(b.nextACT, at+int64(t.TRFCab))
+	}
+}
+
+func maxi64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

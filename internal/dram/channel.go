@@ -1,0 +1,428 @@
+package dram
+
+import "fmt"
+
+// ChannelStats aggregates per-channel scheduler statistics.
+type ChannelStats struct {
+	Reads       int64
+	Writes      int64
+	Activations int64
+	RowHits     int64
+	RowMisses   int64
+	Refreshes   int64
+	// DataBusCycles counts cycles the data bus carried a burst.
+	DataBusCycles int64
+	// LastDone is the completion cycle of the last finished request.
+	LastDone int64
+}
+
+// pendingReq wraps a Request with scheduler-internal bookkeeping.
+type pendingReq struct {
+	req *Request
+	// activated is set once the scheduler issued an ACT on behalf of
+	// this request; used to classify row hits vs misses.
+	activated bool
+}
+
+// Channel is a single-channel DRAM command scheduler implementing
+// first-ready, first-come-first-served (FR-FCFS) scheduling with an
+// open-row policy, bank/rank timing constraints, data-bus contention,
+// read/write turnaround and periodic all-bank refresh.
+//
+// A Channel is not safe for concurrent use.
+type Channel struct {
+	spec  *Spec
+	t     *Timing
+	ranks []rank
+
+	queue []pendingReq
+
+	// now is the cycle of the most recently issued command.
+	now int64
+	// cmdBusFree is the first cycle the command bus can take another
+	// column (data) command. Row commands (ACT/PRE) use rowCmdFree:
+	// at burst granularity one data burst spans several command-clock
+	// slots, so row commands interleave freely with the data stream.
+	cmdBusFree int64
+	// rowCmdFree3 tracks row-command (ACT/PRE) slot occupancy in
+	// third-cycles: the CA bus carries several command slots per data
+	// burst (LPDDR5 issues commands at CK rate while a burst spans
+	// four CK), so up to rowCmdSlots row commands may issue per burst
+	// cycle.
+	rowCmdFree3 int64
+	// dataBusFree is the first cycle the data bus is available.
+	dataBusFree int64
+	// nextRead / nextWrite model channel-level read/write turnaround.
+	nextRead  int64
+	nextWrite int64
+	// nextMAC holds per-rank earliest next all-bank MAC issue cycles.
+	nextMAC []int64
+
+	window         int
+	refreshEnabled bool
+	rowPolicy      RowPolicy
+	// dualRowBuffer redirects all-bank (PIM) commands to shadow bank
+	// state (see SetDualRowBuffer).
+	dualRowBuffer bool
+	shadow        []rank
+
+	stats ChannelStats
+}
+
+// RowPolicy selects what happens to a row after a column access.
+type RowPolicy int
+
+const (
+	// OpenRow keeps rows open until a conflict or refresh closes them
+	// (page-open policy) — best for locality-rich streams.
+	OpenRow RowPolicy = iota
+	// CloseRow auto-precharges after a column access unless another
+	// visible request still wants the open row (RDA/WRA-style) — best
+	// for random traffic, where it hides precharge latency.
+	CloseRow
+)
+
+// DefaultWindow is the FR-FCFS reorder window (visible queue depth).
+const DefaultWindow = 32
+
+// rowCmdSlots is the number of row-command (ACT/PRE) slots available per
+// burst cycle on the command bus.
+const rowCmdSlots = 3
+
+// NewChannel builds a scheduler for one channel of the given spec.
+func NewChannel(spec *Spec) *Channel {
+	c := &Channel{
+		spec:           spec,
+		t:              &spec.Timing,
+		window:         DefaultWindow,
+		refreshEnabled: true,
+	}
+	c.ranks = make([]rank, spec.Geometry.RanksPerChannel)
+	c.nextMAC = make([]int64, spec.Geometry.RanksPerChannel)
+	for i := range c.ranks {
+		c.ranks[i] = newRank(spec.Geometry.BanksPerRank, spec.Timing.TREFI)
+	}
+	return c
+}
+
+// SetRefreshEnabled toggles periodic refresh (enabled by default).
+func (c *Channel) SetRefreshEnabled(v bool) { c.refreshEnabled = v }
+
+// SetRowPolicy selects the row-buffer management policy (OpenRow default).
+func (c *Channel) SetRowPolicy(p RowPolicy) { c.rowPolicy = p }
+
+// SetWindow sets the FR-FCFS reorder window; w < 1 means strict FCFS.
+func (c *Channel) SetWindow(w int) {
+	if w < 1 {
+		w = 1
+	}
+	c.window = w
+}
+
+// Now returns the cycle of the most recently issued command.
+func (c *Channel) Now() int64 { return c.now }
+
+// Stats returns a snapshot of the channel statistics.
+func (c *Channel) Stats() ChannelStats {
+	s := c.stats
+	for i := range c.ranks {
+		s.Refreshes += c.ranks[i].refreshes
+	}
+	return s
+}
+
+// Enqueue adds a request to the channel queue. Requests must target this
+// channel's rank/bank/row space; the channel index in the address is not
+// re-checked.
+func (c *Channel) Enqueue(r *Request) error {
+	g := c.spec.Geometry
+	a := r.Addr
+	if a.Rank < 0 || a.Rank >= g.RanksPerChannel ||
+		a.Bank < 0 || a.Bank >= g.BanksPerRank ||
+		a.Row < 0 || a.Row >= g.Rows ||
+		a.Column < 0 || a.Column >= g.ColumnsPerRow() {
+		return fmt.Errorf("dram: request address %v outside geometry", a)
+	}
+	c.queue = append(c.queue, pendingReq{req: r})
+	return nil
+}
+
+// Pending returns the number of queued requests.
+func (c *Channel) Pending() int { return len(c.queue) }
+
+// candidate is one issuable command considered by the scheduler.
+type candidate struct {
+	kind     CommandKind
+	queueIdx int
+	earliest int64
+	// rowHit marks a column command that needed no ACT.
+	rowHit bool
+}
+
+// Drain runs the scheduler until the queue is empty and returns the cycle
+// at which the last request's data burst completed.
+func (c *Channel) Drain() int64 {
+	for len(c.queue) > 0 {
+		c.step()
+	}
+	return c.stats.LastDone
+}
+
+// DrainUpTo runs until at most n requests remain (used by streaming
+// producers to bound queue growth).
+func (c *Channel) DrainUpTo(n int) {
+	for len(c.queue) > n {
+		c.step()
+	}
+}
+
+// PendingReady counts queued requests that have arrived by the current
+// clock and can therefore be scheduled without advancing time to a future
+// arrival. Co-schedulers use it to interleave SoC requests with PIM work.
+func (c *Channel) PendingReady() int {
+	n := 0
+	for i := range c.queue {
+		if c.queue[i].req.Arrival <= c.now {
+			n++
+		}
+	}
+	return n
+}
+
+// StepOne issues exactly one command (or performs one refresh/idle jump)
+// from the request queue. It exposes the scheduler's inner step for
+// co-scheduling drivers that interleave queue traffic with all-bank ops.
+func (c *Channel) StepOne() {
+	c.step()
+}
+
+// step issues exactly one command (or performs one refresh).
+func (c *Channel) step() {
+	if len(c.queue) == 0 {
+		return
+	}
+	if c.refreshEnabled {
+		for ri := range c.ranks {
+			if c.ranks[ri].refreshDue(c.now) {
+				c.ranks[ri].applyRefresh(c.now, c.t)
+			}
+		}
+	}
+
+	best, ok := c.pickCommand()
+	if !ok {
+		// Nothing arrived yet: jump to the first arrival.
+		var minArr int64 = -1
+		for i := range c.queue {
+			if minArr < 0 || c.queue[i].req.Arrival < minArr {
+				minArr = c.queue[i].req.Arrival
+			}
+		}
+		if minArr > c.now {
+			c.now = minArr
+		}
+		return
+	}
+	c.issue(best)
+}
+
+// pickCommand selects the next command FR-FCFS style. It returns false if
+// no request inside the window has arrived yet.
+func (c *Channel) pickCommand() (candidate, bool) {
+	g := c.spec.Geometry
+	limit := len(c.queue)
+	if limit > c.window {
+		limit = c.window
+	}
+
+	// The scheduler tracks the best column (data) command and the best
+	// preparatory command (ACT/PRE) separately. A preparatory command is
+	// issued ahead of a ready column command only when doing so does not
+	// delay it — modeling the command bus issuing row and column commands
+	// for different banks in parallel.
+	var bestCol, bestPrep candidate
+	haveCol, havePrep := false, false
+	consider := func(cand candidate) {
+		isCol := cand.kind == CmdRD || cand.kind == CmdWR
+		if isCol {
+			if !haveCol || cand.earliest < bestCol.earliest ||
+				(cand.earliest == bestCol.earliest && cand.queueIdx < bestCol.queueIdx) {
+				bestCol = cand
+				haveCol = true
+			}
+			return
+		}
+		if !havePrep || cand.earliest < bestPrep.earliest ||
+			(cand.earliest == bestPrep.earliest && cand.queueIdx < bestPrep.queueIdx) {
+			bestPrep = cand
+			havePrep = true
+		}
+	}
+
+	// hitWanted marks banks for which some visible request targets the
+	// currently open row; such banks must not be precharged (FR part).
+	hitWanted := make(map[int]bool)
+	for i := 0; i < limit; i++ {
+		r := c.queue[i].req
+		b := &c.ranks[r.Addr.Rank].banks[r.Addr.Bank]
+		if b.state == bankActive && b.openRow == r.Addr.Row {
+			hitWanted[r.Addr.Rank*g.BanksPerRank+r.Addr.Bank] = true
+		}
+	}
+
+	for i := 0; i < limit; i++ {
+		r := c.queue[i].req
+		rk := &c.ranks[r.Addr.Rank]
+		b := &rk.banks[r.Addr.Bank]
+		arr := r.Arrival
+
+		switch {
+		case b.state == bankActive && b.openRow == r.Addr.Row:
+			kind := r.Kind()
+			e, legal := b.earliest(kind, r.Addr.Row)
+			if !legal {
+				continue
+			}
+			e = maxi64(e, c.columnEarliest(kind))
+			e = maxi64(e, arr)
+			consider(candidate{kind: kind, queueIdx: i, earliest: e, rowHit: !c.queue[i].activated})
+		case b.state == bankIdle:
+			e, legal := b.earliest(CmdACT, r.Addr.Row)
+			if !legal {
+				continue
+			}
+			e = maxi64(e, rk.earliestACT())
+			e = maxi64(e, c.rowCmdEarliest())
+			e = maxi64(e, c.now)
+			e = maxi64(e, arr)
+			consider(candidate{kind: CmdACT, queueIdx: i, earliest: e})
+		default:
+			// Conflict: open row differs. Only precharge if no
+			// visible request still wants the open row.
+			key := r.Addr.Rank*g.BanksPerRank + r.Addr.Bank
+			if hitWanted[key] {
+				continue
+			}
+			e, legal := b.earliest(CmdPRE, 0)
+			if !legal {
+				continue
+			}
+			e = maxi64(e, c.rowCmdEarliest())
+			e = maxi64(e, c.now)
+			e = maxi64(e, arr)
+			consider(candidate{kind: CmdPRE, queueIdx: i, earliest: e})
+		}
+	}
+	switch {
+	case haveCol && havePrep:
+		// Row and column commands ride different command slots; issue
+		// the preparatory command as long as it is not later than the
+		// best column command.
+		if bestPrep.earliest <= bestCol.earliest {
+			return bestPrep, true
+		}
+		return bestCol, true
+	case haveCol:
+		return bestCol, true
+	case havePrep:
+		return bestPrep, true
+	default:
+		return candidate{}, false
+	}
+}
+
+// rowStillWanted reports whether any visible request targets the open row
+// of the bank at addr.
+func (c *Channel) rowStillWanted(a Addr) bool {
+	limit := len(c.queue)
+	if limit > c.window {
+		limit = c.window
+	}
+	for i := 0; i < limit; i++ {
+		q := c.queue[i].req.Addr
+		if q.Rank == a.Rank && q.Bank == a.Bank && q.Row == a.Row {
+			return true
+		}
+	}
+	return false
+}
+
+// rowCmdEarliest returns the first cycle with a free row-command slot.
+func (c *Channel) rowCmdEarliest() int64 {
+	return c.rowCmdFree3 / rowCmdSlots
+}
+
+// consumeRowCmdSlot books one ACT/PRE slot at cycle `at`.
+func (c *Channel) consumeRowCmdSlot(at int64) {
+	if v := at * rowCmdSlots; c.rowCmdFree3 < v {
+		c.rowCmdFree3 = v
+	}
+	c.rowCmdFree3++
+}
+
+// columnEarliest combines channel-level constraints for a column command.
+func (c *Channel) columnEarliest(kind CommandKind) int64 {
+	e := maxi64(c.cmdBusFree, c.dataBusFree)
+	switch kind {
+	case CmdRD:
+		e = maxi64(e, c.nextRead)
+	case CmdWR:
+		e = maxi64(e, c.nextWrite)
+	}
+	return e
+}
+
+// issue applies the chosen command.
+func (c *Channel) issue(cand candidate) {
+	pr := &c.queue[cand.queueIdx]
+	r := pr.req
+	rk := &c.ranks[r.Addr.Rank]
+	b := &rk.banks[r.Addr.Bank]
+	at := cand.earliest
+
+	switch cand.kind {
+	case CmdPRE:
+		b.apply(CmdPRE, 0, at, c.t)
+		c.consumeRowCmdSlot(at)
+	case CmdACT:
+		b.apply(CmdACT, r.Addr.Row, at, c.t)
+		rk.recordACT(at, c.t)
+		pr.activated = true
+		c.stats.Activations++
+		c.consumeRowCmdSlot(at)
+	case CmdRD, CmdWR:
+		b.apply(cand.kind, r.Addr.Row, at, c.t)
+		c.dataBusFree = at + int64(c.t.TCCD)
+		c.stats.DataBusCycles += int64(c.t.TCCD)
+		var done int64
+		if cand.kind == CmdRD {
+			c.stats.Reads++
+			done = at + int64(c.t.CL) + int64(c.t.TCCD)
+			c.nextWrite = maxi64(c.nextWrite, at+int64(c.t.TCCD)+int64(c.t.TRTW))
+		} else {
+			c.stats.Writes++
+			done = at + int64(c.t.CWL) + int64(c.t.TCCD)
+			c.nextRead = maxi64(c.nextRead, at+int64(c.t.TCCD)+int64(c.t.TWTR))
+		}
+		if pr.activated {
+			c.stats.RowMisses++
+		} else {
+			c.stats.RowHits++
+		}
+		r.Done = done
+		if done > c.stats.LastDone {
+			c.stats.LastDone = done
+		}
+		// Remove from queue preserving order.
+		c.queue = append(c.queue[:cand.queueIdx], c.queue[cand.queueIdx+1:]...)
+		c.cmdBusFree = at + 1
+		if c.rowPolicy == CloseRow && !c.rowStillWanted(r.Addr) {
+			// Auto-precharge (RDA/WRA): close as soon as the bank's
+			// timing constraints allow, without a command-bus slot.
+			b.apply(CmdPRE, 0, b.nextPRE, c.t)
+		}
+	}
+	if at > c.now {
+		c.now = at
+	}
+}

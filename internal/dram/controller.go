@@ -1,0 +1,93 @@
+package dram
+
+import "fmt"
+
+// Controller drives all channels of a memory system. Channels are
+// independent at the command level (each has its own command/data bus), so
+// the controller schedules them separately and reports system-level
+// statistics and completion times.
+type Controller struct {
+	spec     Spec
+	channels []*Channel
+}
+
+// NewController builds a controller with one scheduler per channel.
+func NewController(spec Spec) (*Controller, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	ctl := &Controller{spec: spec}
+	ctl.channels = make([]*Channel, spec.Geometry.Channels)
+	for i := range ctl.channels {
+		ctl.channels[i] = NewChannel(&ctl.spec)
+	}
+	return ctl, nil
+}
+
+// Spec returns the controller's memory spec.
+func (ctl *Controller) Spec() Spec { return ctl.spec }
+
+// Channel returns the scheduler for channel i.
+func (ctl *Controller) Channel(i int) *Channel { return ctl.channels[i] }
+
+// SetRefreshEnabled toggles refresh on every channel.
+func (ctl *Controller) SetRefreshEnabled(v bool) {
+	for _, c := range ctl.channels {
+		c.SetRefreshEnabled(v)
+	}
+}
+
+// Enqueue routes a request to its channel.
+func (ctl *Controller) Enqueue(r *Request) error {
+	if r.Addr.Channel < 0 || r.Addr.Channel >= len(ctl.channels) {
+		return fmt.Errorf("dram: channel %d out of range", r.Addr.Channel)
+	}
+	return ctl.channels[r.Addr.Channel].Enqueue(r)
+}
+
+// Drain runs every channel until its queue is empty and returns the cycle
+// at which the last request in the whole system completed.
+func (ctl *Controller) Drain() int64 {
+	var last int64
+	for _, c := range ctl.channels {
+		if d := c.Drain(); d > last {
+			last = d
+		}
+	}
+	return last
+}
+
+// Stats sums channel statistics.
+func (ctl *Controller) Stats() ChannelStats {
+	var s ChannelStats
+	for _, c := range ctl.channels {
+		cs := c.Stats()
+		s.Reads += cs.Reads
+		s.Writes += cs.Writes
+		s.Activations += cs.Activations
+		s.RowHits += cs.RowHits
+		s.RowMisses += cs.RowMisses
+		s.Refreshes += cs.Refreshes
+		s.DataBusCycles += cs.DataBusCycles
+		if cs.LastDone > s.LastDone {
+			s.LastDone = cs.LastDone
+		}
+	}
+	return s
+}
+
+// Seconds converts cycles to seconds using the spec's burst clock.
+func (ctl *Controller) Seconds(cycles int64) float64 {
+	return ctl.spec.Timing.Seconds(cycles)
+}
+
+// AchievedBandwidthGBs computes the effective bandwidth of a finished run:
+// total transferred bytes divided by the wall-clock completion time.
+func (ctl *Controller) AchievedBandwidthGBs() float64 {
+	s := ctl.Stats()
+	if s.LastDone == 0 {
+		return 0
+	}
+	bytes := float64(s.Reads+s.Writes) * float64(ctl.spec.Geometry.TransferBytes)
+	return bytes / ctl.Seconds(s.LastDone) / 1e9
+}

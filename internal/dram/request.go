@@ -1,0 +1,26 @@
+package dram
+
+// Request is one burst-sized memory access presented to the controller.
+// The address is already translated to DRAM coordinates; physical-to-DRAM
+// mapping happens in the memory-controller frontend (internal/mc).
+type Request struct {
+	// Addr is the DRAM coordinate of the burst.
+	Addr Addr
+	// Write is true for a write burst, false for a read.
+	Write bool
+	// Arrival is the cycle the request becomes visible to the scheduler.
+	Arrival int64
+	// Done is the cycle the request finished (data burst completed).
+	// Populated by the controller.
+	Done int64
+	// ID is an optional caller tag carried through the pipeline.
+	ID int64
+}
+
+// Kind returns the data command this request needs.
+func (r *Request) Kind() CommandKind {
+	if r.Write {
+		return CmdWR
+	}
+	return CmdRD
+}

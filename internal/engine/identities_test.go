@@ -1,0 +1,144 @@
+package engine
+
+import (
+	"math"
+	"testing"
+)
+
+// Numerical identities that tie the metric definitions together; they
+// guard against accounting regressions.
+
+func TestTTLTDecomposition(t *testing.T) {
+	s := jetsonSystem(t)
+	for _, k := range Kinds() {
+		for _, pd := range [][2]int{{8, 4}, {32, 16}, {64, 64}} {
+			ttft, err := s.TTFT(k, pd[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			dec, err := s.DecodeSeconds(k, pd[0], pd[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			ttlt, err := s.TTLT(k, pd[0], pd[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(ttlt-(ttft+dec)) > 1e-12 {
+				t.Errorf("%v P%d/D%d: TTLT %.9f != TTFT %.9f + decode %.9f",
+					k, pd[0], pd[1], ttlt, ttft, dec)
+			}
+		}
+	}
+}
+
+func TestDecodeSecondsAdditivity(t *testing.T) {
+	// Decode over D tokens equals the sum of the individual steps.
+	s := jetsonSystem(t)
+	const p, d = 16, 10
+	total, err := s.DecodeSeconds(FACIL, p, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for step := 1; step < d; step++ {
+		st, err := s.DecodeStepSeconds(FACIL, p+step)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += st
+	}
+	if math.Abs(total-sum) > 1e-12 {
+		t.Errorf("DecodeSeconds %.9f != sum of steps %.9f", total, sum)
+	}
+}
+
+func TestDecodeStepMonotoneInContext(t *testing.T) {
+	// Growing KV context can only lengthen a decode step.
+	s := jetsonSystem(t)
+	for _, k := range []Kind{SoCOnly, FACIL} {
+		prev := 0.0
+		for _, ctx := range []int{1, 16, 64, 256, 1024} {
+			st, err := s.DecodeStepSeconds(k, ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st < prev {
+				t.Errorf("%v: step shrank with context at ctx=%d", k, ctx)
+			}
+			prev = st
+		}
+	}
+}
+
+func TestDecodeStepBreakdownSumsToStep(t *testing.T) {
+	s := jetsonSystem(t)
+	for _, k := range []Kind{SoCOnly, FACIL} {
+		b, err := s.DecodeStepBreakdown(k, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := s.DecodeStepSeconds(k, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := b.LinearSeconds + b.AttentionSeconds + b.OtherSeconds
+		if math.Abs(sum-st)/st > 1e-9 {
+			t.Errorf("%v: breakdown %.9f != step %.9f", k, sum, st)
+		}
+	}
+}
+
+func TestTTFTMonotoneInPrefill(t *testing.T) {
+	s := jetsonSystem(t)
+	for _, k := range Kinds() {
+		prev := 0.0
+		for _, l := range []int{1, 4, 16, 64, 256} {
+			ttft, err := s.TTFT(k, l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ttft+1e-15 < prev {
+				t.Errorf("%v: TTFT shrank at prefill %d (%.6f < %.6f)", k, l, ttft, prev)
+			}
+			prev = ttft
+		}
+	}
+}
+
+func TestHybridStaticEqualsSoCOnlyPlusRelayout(t *testing.T) {
+	s := jetsonSystem(t)
+	re, err := s.RelayoutAllWeightsSeconds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range []int{8, 64} {
+		socT, err := s.TTFTStatic(SoCOnly, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hy, err := s.TTFTStatic(HybridStatic, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(hy-(socT+re)) > 1e-12 {
+			t.Errorf("P%d: hybrid TTFT %.9f != SoC %.9f + relayout %.9f", l, hy, socT, re)
+		}
+	}
+}
+
+func TestFACILTTFTIsSlowdownScaledSoC(t *testing.T) {
+	s := jetsonSystem(t)
+	socT, err := s.TTFTStatic(SoCOnly, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, err := s.TTFTStatic(FACIL, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := socT * (1 + s.Platform.GEMMSlowdown)
+	if math.Abs(fa-want)/want > 1e-9 {
+		t.Errorf("FACIL TTFT %.9f != slowdown-scaled SoC %.9f", fa, want)
+	}
+}

@@ -1,0 +1,203 @@
+package engine
+
+import (
+	"fmt"
+
+	"facil/internal/mapping"
+	"facil/internal/soc"
+)
+
+// otherStepSeconds is the non-linear per-token SoC work of one decode
+// step: a fixed cost anchored to the platform's SoC decode-linear time so
+// the paper's Fig. 2(a) breakdown (>90% linear) holds, and so PIM offload
+// cannot accelerate it (Amdahl).
+func (s *System) otherStepSeconds() float64 {
+	return s.cfg.OtherFraction * s.socDecodeLinearSeconds()
+}
+
+// socDecodeLinearSeconds is one decode step's linear (GEMV) time on the
+// SoC with weights in their preferred layout.
+func (s *System) socDecodeLinearSeconds() float64 {
+	var t float64
+	for _, op := range s.Model.DecodeLinears() {
+		t += s.Platform.Seconds(op)
+	}
+	return t
+}
+
+// socAttentionSeconds is the SoC time to read the KV cache at context ctx
+// (memory-bound).
+func (s *System) socAttentionSeconds(ctx int) float64 {
+	if ctx <= 0 {
+		return 0
+	}
+	return float64(s.Model.AttentionBytesPerStep(ctx)) / (s.Platform.EffectiveBWGBs() * 1e9)
+}
+
+// pimLinearStepSeconds is one decode step's linear time on PIM: every
+// weight matrix streamed through the bank PUs, plus the SoC-side reduction
+// of column-partitioned partial sums.
+func (s *System) pimLinearStepSeconds() (float64, error) {
+	var t float64
+	for _, pw := range s.weights {
+		r, err := s.pimDev.GEMV(pw.matrix)
+		if err != nil {
+			return 0, err
+		}
+		t += float64(pw.count) * r.Seconds
+		if r.PartialSums > 1 {
+			// SoC reduces PartialSums partials per output element:
+			// read all partials, write the result.
+			bytes := float64(r.PartialSums+1) * float64(pw.matrix.Rows) * float64(pw.matrix.DTypeBytes)
+			t += float64(pw.count) * bytes / (s.Platform.EffectiveBWGBs() * 1e9)
+		}
+	}
+	return t, nil
+}
+
+// pimAttentionSeconds is the decode-attention time on PIM at context ctx:
+// two KV-cache GEMVs (scores and weighted sum) per layer.
+func (s *System) pimAttentionSeconds(ctx int) (float64, error) {
+	if ctx <= 0 {
+		return 0, nil
+	}
+	kv := s.Model.AttentionKVMatrix(ctx)
+	r, err := s.pimDev.GEMV(kv)
+	if err != nil {
+		return 0, err
+	}
+	return 2 * float64(s.Model.Layers) * r.Seconds, nil
+}
+
+// prefillSoCSeconds is the prefill GEMM time on the SoC at length l.
+// pimLayout applies the platform's conservative Table III slowdown.
+// The (1 + OtherFraction) factor covers the non-linear prefill work.
+func (s *System) prefillSoCSeconds(l int, pimLayout bool) float64 {
+	var t float64
+	for _, op := range s.Model.PrefillLinears(l) {
+		if pimLayout {
+			t += s.Platform.SecondsOnPIMLayout(op)
+		} else {
+			t += s.Platform.Seconds(op)
+		}
+	}
+	return t * (1 + s.cfg.OtherFraction)
+}
+
+// prefillPIMSeconds runs the whole prefill on PIM: l GEMV passes over the
+// weights (tall-and-skinny GEMM), causal attention over the growing KV
+// cache, and the per-token non-linear work on the SoC.
+func (s *System) prefillPIMSeconds(l int) (float64, error) {
+	lin, err := s.pimLinearStepSeconds()
+	if err != nil {
+		return 0, err
+	}
+	t := float64(l) * (lin + s.otherStepSeconds())
+	for ctx := 1; ctx < l; ctx++ {
+		at, err := s.pimAttentionSeconds(ctx)
+		if err != nil {
+			return 0, err
+		}
+		t += at
+	}
+	return t, nil
+}
+
+// relayoutAllWeightsSeconds is the on-demand re-layout cost of one full
+// prefill pass in the hybrid baseline: every weight matrix is copied from
+// its PIM mapping into a conventional scratch buffer before its GEMM
+// (paper Fig. 5(b); the transient copy keeps peak memory near one matrix).
+func (s *System) relayoutAllWeightsSeconds() (float64, error) {
+	var t float64
+	for _, pw := range s.weights {
+		res, err := s.relayout.Cost(pw.sel.ID, mapping.ConventionalMapID, pw.matrix.PaddedBytes())
+		if err != nil {
+			return 0, err
+		}
+		t += float64(pw.count) * res.Seconds
+	}
+	return t, nil
+}
+
+// RelayoutAllWeightsSeconds exposes the full-model re-layout cost for
+// ablation studies (e.g. the on-demand vs all-at-once policy comparison).
+func (s *System) RelayoutAllWeightsSeconds() (float64, error) {
+	return s.relayoutAllWeightsSeconds()
+}
+
+// DecodeStepSeconds returns one decode step's latency at context length
+// ctx under a design. Results are memoized.
+func (s *System) DecodeStepSeconds(k Kind, ctx int) (float64, error) {
+	key := decodeKey{kind: k, ctx: ctx}
+	if v, ok := s.decodeCache[key]; ok {
+		return v, nil
+	}
+	var t float64
+	switch k {
+	case SoCOnly:
+		t = s.socDecodeLinearSeconds() + s.socAttentionSeconds(ctx) + s.otherStepSeconds()
+	case HybridStatic, HybridDynamic, FACIL, WeightDuplication:
+		lin, err := s.pimLinearStepSeconds()
+		if err != nil {
+			return 0, err
+		}
+		at, err := s.pimAttentionSeconds(ctx)
+		if err != nil {
+			return 0, err
+		}
+		t = lin + at + s.otherStepSeconds()
+	default:
+		return 0, fmt.Errorf("engine: unknown design %v", k)
+	}
+	s.decodeCache[key] = t
+	return t, nil
+}
+
+// IdealNPUDecodeStepSeconds is the paper's Fig. 3 comparator: a
+// hypothetical NPU with infinite FLOPS and 100% utilization of the peak
+// memory bandwidth — its decode step is pure memory traffic at peak.
+func (s *System) IdealNPUDecodeStepSeconds(ctx int) float64 {
+	var bytes float64
+	for _, op := range s.Model.DecodeLinears() {
+		bytes += op.Bytes()
+	}
+	bytes += float64(s.Model.AttentionBytesPerStep(ctx))
+	return bytes / (s.Platform.PeakBWGBs() * 1e9)
+}
+
+// PIMStepBreakdown reports one decode step's components for a PIM design
+// (Fig. 2(a)-style breakdown on the PIM side).
+type PIMStepBreakdown struct {
+	LinearSeconds    float64
+	AttentionSeconds float64
+	OtherSeconds     float64
+}
+
+// DecodeStepBreakdown decomposes one decode step of design k at ctx. The
+// linear component includes partial-sum reduction.
+func (s *System) DecodeStepBreakdown(k Kind, ctx int) (PIMStepBreakdown, error) {
+	var b PIMStepBreakdown
+	b.OtherSeconds = s.otherStepSeconds()
+	if k == SoCOnly {
+		b.LinearSeconds = s.socDecodeLinearSeconds()
+		b.AttentionSeconds = s.socAttentionSeconds(ctx)
+		return b, nil
+	}
+	lin, err := s.pimLinearStepSeconds()
+	if err != nil {
+		return b, err
+	}
+	at, err := s.pimAttentionSeconds(ctx)
+	if err != nil {
+		return b, err
+	}
+	b.LinearSeconds = lin
+	b.AttentionSeconds = at
+	return b, nil
+}
+
+// SoCDecodeLinears exposes the per-matrix decode GEMV shapes with their
+// SoC utilizations (Fig. 2(b)).
+func (s *System) SoCDecodeLinears() []soc.Linear {
+	return s.Model.DecodeLinears()
+}

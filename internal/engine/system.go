@@ -1,0 +1,179 @@
+// Package engine assembles the full FACIL evaluation stack: a platform
+// (SoC roofline model + DRAM spec), an LLM, a PIM device simulation, a
+// re-layout cost engine and the FACIL mapping machinery. It computes the
+// paper's end-to-end metrics — time-to-first-token (TTFT) and
+// time-to-last-token (TTLT) — for each of the compared designs:
+//
+//   - SoCOnly: weights in the conventional mapping, everything on the SoC.
+//   - HybridStatic: single weight copy in PIM layout; prefill GEMMs on the
+//     SoC after an on-demand re-layout of each matrix; decode on PIM.
+//   - HybridDynamic: HybridStatic plus the profiling-based choice to run
+//     short prefills directly on PIM (paper Sec. VI-C).
+//   - FACIL: flexible mapping lets the SoC run GEMMs directly on the
+//     PIM-laid-out weights (worst-case Table III slowdown applied), no
+//     re-layout ever; includes the dynamic prefill offload.
+//   - WeightDuplication: two weight copies (Fig. 5(a)) — fast but 2x
+//     memory.
+package engine
+
+import (
+	"fmt"
+
+	"facil/internal/llm"
+	"facil/internal/mapping"
+	"facil/internal/pim"
+	"facil/internal/relayout"
+	"facil/internal/soc"
+)
+
+// Kind selects an execution design.
+type Kind int
+
+// The compared designs.
+const (
+	SoCOnly Kind = iota
+	HybridStatic
+	HybridDynamic
+	FACIL
+	WeightDuplication
+)
+
+// String names the design as in the paper's figures.
+func (k Kind) String() string {
+	switch k {
+	case SoCOnly:
+		return "SoC-only"
+	case HybridStatic:
+		return "hybrid static"
+	case HybridDynamic:
+		return "hybrid dynamic"
+	case FACIL:
+		return "FACIL"
+	case WeightDuplication:
+		return "weight duplication"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Kinds lists all designs in presentation order.
+func Kinds() []Kind {
+	return []Kind{SoCOnly, HybridStatic, HybridDynamic, FACIL, WeightDuplication}
+}
+
+// Config tunes secondary modeling constants.
+type Config struct {
+	// OtherFraction sizes the non-linear per-token work (norms,
+	// softmax, rope, sampling, kernel launches) that stays on the SoC,
+	// as a fraction of the SoC's decode-phase linear time. The paper's
+	// Fig. 2(a) shows linear ops take >90% of decode time, so the
+	// default is 0.09.
+	OtherFraction float64
+	// RelayoutSampleBytes bounds the re-layout simulation window.
+	RelayoutSampleBytes int64
+	// PIM overrides the default AiM configuration when non-nil.
+	PIM *pim.Config
+}
+
+// DefaultConfig returns the paper-calibrated constants.
+func DefaultConfig() Config {
+	return Config{OtherFraction: 0.09}
+}
+
+// System is one platform+model evaluation stack.
+type System struct {
+	Platform soc.Platform
+	Model    llm.Model
+	cfg      Config
+
+	mem      mapping.MemoryConfig
+	table    *mapping.Table
+	pimDev   *pim.Device
+	relayout *relayout.Engine
+
+	// weights caches the model's weight matrices with their placement.
+	weights []placedWeight
+	// decodeCache memoizes per-step decode latencies by (kind, ctx).
+	decodeCache map[decodeKey]float64
+	// thresholds caches the dynamic-offload crossover per platform.
+	threshold int
+	thInit    bool
+}
+
+type placedWeight struct {
+	w      llm.WeightMatrix
+	matrix mapping.MatrixConfig
+	sel    mapping.Selection
+	count  int // instances (layers or 1)
+}
+
+type decodeKey struct {
+	kind Kind
+	ctx  int
+}
+
+// NewSystem builds the stack for a platform and model.
+func NewSystem(p soc.Platform, m llm.Model, cfg Config) (*System, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.OtherFraction < 0 || cfg.OtherFraction >= 1 {
+		return nil, fmt.Errorf("engine: OtherFraction %g out of [0,1)", cfg.OtherFraction)
+	}
+	s := &System{
+		Platform:    p,
+		Model:       m,
+		cfg:         cfg,
+		mem:         mapping.MemoryConfig{Geometry: p.Spec.Geometry, HugePageBytes: 2 << 20},
+		decodeCache: make(map[decodeKey]float64),
+	}
+	pimCfg := pim.DefaultAiM(p.Spec.Geometry)
+	if cfg.PIM != nil {
+		pimCfg = *cfg.PIM
+	}
+	var err error
+	if s.table, err = mapping.NewTable(s.mem, pimCfg.Chunk); err != nil {
+		return nil, err
+	}
+	if s.pimDev, err = pim.NewDevice(p.Spec, pimCfg); err != nil {
+		return nil, err
+	}
+	if s.relayout, err = relayout.NewEngine(p.Spec, s.table, cfg.RelayoutSampleBytes); err != nil {
+		return nil, err
+	}
+	for _, w := range m.WeightMatrices() {
+		matrix := w.Matrix(m.DTypeBytes)
+		sel, err := mapping.SelectMapping(matrix, s.mem, pimCfg.Chunk)
+		if err != nil {
+			return nil, err
+		}
+		count := 1
+		if w.PerLayer {
+			count = m.Layers
+		}
+		s.weights = append(s.weights, placedWeight{w: w, matrix: matrix, sel: sel, count: count})
+	}
+	return s, nil
+}
+
+// PIMDevice exposes the PIM simulation (for Fig. 3-style analyses).
+func (s *System) PIMDevice() *pim.Device { return s.pimDev }
+
+// Relayout exposes the re-layout engine.
+func (s *System) Relayout() *relayout.Engine { return s.relayout }
+
+// Table exposes the mapping table.
+func (s *System) Table() *mapping.Table { return s.table }
+
+// WeightFootprint returns the memory the design holds for weights:
+// WeightDuplication stores two copies.
+func (s *System) WeightFootprint(k Kind) int64 {
+	b := s.Model.TotalWeightBytes()
+	if k == WeightDuplication {
+		return 2 * b
+	}
+	return b
+}

@@ -1,0 +1,43 @@
+package exp
+
+import (
+	"fmt"
+
+	"facil/internal/sched"
+	"facil/internal/soc"
+)
+
+// Cosched evaluates the paper's "Remaining Challenges" discussion
+// (Sec. V-C): how PIM and non-PIM requests interfere on shared channels,
+// and how the NeuPIMs-style dual-row-buffer alternative resolves the
+// conflict. Not a paper figure — an extension quantifying the paper's
+// qualitative argument.
+func Cosched() (Table, error) {
+	spec := soc.IPhone.Spec // single-device scale, 4 channels; one is simulated
+	w := sched.DefaultWorkload()
+	tab := Table{
+		Title: "Extension: PIM / SoC co-scheduling on one shared channel (Sec. V-C discussion)",
+		Header: []string{
+			"policy", "PIM slowdown", "SoC mean latency", "SoC p99", "SoC slowdown",
+		},
+		Notes: []string{
+			fmt.Sprintf("workload: %d PIM row passes + %d SoC bursts at %.2f req/cycle",
+				w.PIMPasses, w.SoCRequests, w.SoCRate),
+			"dual row buffers (NeuPIMs) keep both classes near isolated performance",
+		},
+	}
+	for _, p := range sched.Policies() {
+		r, err := sched.Cosimulate(spec, w, p)
+		if err != nil {
+			return Table{}, err
+		}
+		tab.Rows = append(tab.Rows, []string{
+			p.String(),
+			x(r.PIMSlowdown),
+			fmt.Sprintf("%.0f cycles", r.SoCMeanLatency),
+			fmt.Sprintf("%.0f cycles", r.SoCP99Latency),
+			x(r.SoCSlowdown),
+		})
+	}
+	return tab, nil
+}

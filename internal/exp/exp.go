@@ -1,0 +1,111 @@
+// Package exp regenerates every table and figure of the paper's
+// evaluation (plus the motivation figures) from the simulation stack.
+// Each experiment returns structured rows and renders the same series the
+// paper reports; EXPERIMENTS.md records paper-vs-measured values.
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"facil/internal/engine"
+	"facil/internal/llm"
+	"facil/internal/soc"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes carries caveats (scaling, substitutions).
+	Notes []string
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	var b strings.Builder
+	b.WriteString(t.Title)
+	b.WriteString("\n")
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		b.WriteString("note: " + n + "\n")
+	}
+	return b.String()
+}
+
+// PlatformModel returns the paper's model assignment for a platform.
+func PlatformModel(p soc.Platform) llm.Model {
+	switch p.Name {
+	case soc.IdeaPad.Name:
+		return llm.OPT_6_7B()
+	case soc.IPhone.Name:
+		return llm.Phi1_5()
+	default:
+		return llm.Llama3_8B()
+	}
+}
+
+// Lab caches one engine.System per platform so experiments share the
+// (expensive) simulation caches.
+type Lab struct {
+	cfg     engine.Config
+	systems map[string]*engine.System
+}
+
+// NewLab builds an empty lab.
+func NewLab(cfg engine.Config) *Lab {
+	return &Lab{cfg: cfg, systems: make(map[string]*engine.System)}
+}
+
+// System returns (building on first use) the stack for a platform.
+func (l *Lab) System(p soc.Platform) (*engine.System, error) {
+	if s, ok := l.systems[p.Name]; ok {
+		return s, nil
+	}
+	s, err := engine.NewSystem(p, PlatformModel(p), l.cfg)
+	if err != nil {
+		return nil, err
+	}
+	l.systems[p.Name] = s
+	return s, nil
+}
+
+// newDetRand returns a deterministic PRNG for experiment inputs.
+func newDetRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// f2, f1, pc and ms format numeric cells.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func pc(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+func ms(v float64) string { return fmt.Sprintf("%.1f ms", 1e3*v) }
+func x(v float64) string  { return fmt.Sprintf("%.2fx", v) }

@@ -1,0 +1,108 @@
+package exp
+
+import (
+	"fmt"
+
+	"facil/internal/engine"
+	"facil/internal/llm"
+	"facil/internal/mapping"
+	"facil/internal/pim"
+	"facil/internal/soc"
+)
+
+// Quant evaluates FACIL under weight quantization — the deployment the
+// paper's references motivate (TinyChatEngine/AWQ run 8- and 4-bit
+// weights on the Jetson). Quantization shrinks both the re-layout cost
+// the baseline pays and the GEMM/GEMV memory traffic, so the question is
+// whether FACIL's advantage survives. Not a paper figure.
+func Quant() (Table, error) {
+	tab := Table{
+		Title: "Extension: FACIL under weight quantization (Jetson, Llama3-8B architecture)",
+		Header: []string{
+			"precision", "weights", "decode step (PIM)", "hybrid TTFT P32",
+			"FACIL TTFT P32", "speedup",
+		},
+		Notes: []string{
+			"quantization scales weight traffic for SoC, PIM and re-layout alike;",
+			"FACIL's re-layout-free advantage persists across precisions",
+		},
+	}
+	for _, prec := range []struct {
+		name  string
+		bytes int
+	}{
+		{"FP16", 2},
+		{"INT8 (W8A8)", 1},
+	} {
+		m := llm.Llama3_8B()
+		m.Name = fmt.Sprintf("Llama3-8B-%s", prec.name)
+		m.DTypeBytes = prec.bytes
+		s, err := engine.NewSystem(soc.Jetson, m, engine.DefaultConfig())
+		if err != nil {
+			return Table{}, err
+		}
+		step, err := s.DecodeStepSeconds(engine.FACIL, 64)
+		if err != nil {
+			return Table{}, err
+		}
+		base, err := s.TTFTStatic(engine.HybridStatic, 32)
+		if err != nil {
+			return Table{}, err
+		}
+		facil, err := s.TTFTStatic(engine.FACIL, 32)
+		if err != nil {
+			return Table{}, err
+		}
+		tab.Rows = append(tab.Rows, []string{
+			prec.name,
+			fmt.Sprintf("%.1f GB", float64(m.TotalWeightBytes())/1e9),
+			ms(step),
+			ms(base),
+			ms(facil),
+			x(engine.Speedup(base, facil)),
+		})
+	}
+	return tab, nil
+}
+
+// PIMStyle compares the two chunk formulations the paper derives mappings
+// for (Sec. IV-B, Fig. 8): AiM's (1, 1024) chunks versus HBM-PIM's
+// (8, 128) chunks, on the same LPDDR5 memory system. Not a paper figure —
+// it exercises the HBM-PIM half of the formulation end to end.
+func PIMStyle() (Table, error) {
+	spec := soc.IPhone.Spec
+	mc := mapping.MemoryConfig{Geometry: spec.Geometry, HugePageBytes: 2 << 20}
+	tab := Table{
+		Title: "Extension: AiM-style vs HBM-PIM-style chunks on the iPhone memory system",
+		Header: []string{
+			"style", "chunk (rows x cols fp16)", "min MapID", "PIM mappings",
+			"GEMV 4096x4096", "internal BW",
+		},
+		Notes: []string{
+			"both styles share the MapID formulation; the chunk shape moves the",
+			"chunk-row column bits above the low row bits (paper Fig. 8(b))",
+		},
+	}
+	for _, cfg := range []pim.Config{
+		pim.DefaultAiM(spec.Geometry),
+		pim.DefaultHBMPIM(spec.Geometry),
+	} {
+		dev, err := pim.NewDevice(spec, cfg)
+		if err != nil {
+			return Table{}, err
+		}
+		res, err := dev.GEMV(mapping.MatrixConfig{Rows: 4096, Cols: 4096, DTypeBytes: 2})
+		if err != nil {
+			return Table{}, err
+		}
+		tab.Rows = append(tab.Rows, []string{
+			cfg.Chunk.Style.String(),
+			fmt.Sprintf("%dx%d", cfg.Chunk.Rows, cfg.Chunk.ColElems(2)),
+			fmt.Sprintf("%d", mapping.MinMapID(mc, cfg.Chunk)),
+			fmt.Sprintf("%d", mapping.MapIDCount(mc, cfg.Chunk)),
+			fmt.Sprintf("%.0f us", res.Seconds*1e6),
+			fmt.Sprintf("%.0f GB/s", res.EffectiveInternalGBs),
+		})
+	}
+	return tab, nil
+}

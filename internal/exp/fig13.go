@@ -1,0 +1,77 @@
+package exp
+
+import (
+	"strconv"
+
+	"facil/internal/engine"
+	"facil/internal/soc"
+	"facil/internal/stats"
+)
+
+// Fig13Prefills is the paper's prefill sweep (P8..P128).
+var Fig13Prefills = []int{8, 16, 32, 64, 128}
+
+// Fig13Row is one platform's TTFT speedup series.
+type Fig13Row struct {
+	Platform string
+	// Speedups holds FACIL-over-hybrid-static TTFT speedups per
+	// prefill length.
+	Speedups []float64
+	Geomean  float64
+}
+
+// Fig13Compute evaluates the single-query TTFT speedup of FACIL over the
+// SoC-PIM hybrid baseline on all four platforms (paper Fig. 13; both
+// designs run the prefill on the SoC in this study).
+func (l *Lab) Fig13Compute() ([]Fig13Row, error) {
+	var rows []Fig13Row
+	for _, p := range soc.All() {
+		s, err := l.System(p)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig13Row{Platform: p.Name}
+		for _, pf := range Fig13Prefills {
+			base, err := s.TTFTStatic(engine.HybridStatic, pf)
+			if err != nil {
+				return nil, err
+			}
+			facil, err := s.TTFTStatic(engine.FACIL, pf)
+			if err != nil {
+				return nil, err
+			}
+			row.Speedups = append(row.Speedups, engine.Speedup(base, facil))
+		}
+		row.Geomean = stats.Geomean(row.Speedups)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig13 renders the speedup table.
+func (l *Lab) Fig13() (Table, error) {
+	rows, err := l.Fig13Compute()
+	if err != nil {
+		return Table{}, err
+	}
+	tab := Table{
+		Title:  "Fig. 13: TTFT speedup of FACIL over SoC-PIM hybrid baseline",
+		Header: []string{"platform"},
+		Notes: []string{
+			"paper geomeans: Jetson 2.89x, MacBook 2.19x, IdeaPad 1.55x, iPhone 2.36x",
+		},
+	}
+	for _, pf := range Fig13Prefills {
+		tab.Header = append(tab.Header, "P"+strconv.Itoa(pf))
+	}
+	tab.Header = append(tab.Header, "geomean")
+	for _, r := range rows {
+		cells := []string{r.Platform}
+		for _, sp := range r.Speedups {
+			cells = append(cells, x(sp))
+		}
+		cells = append(cells, x(r.Geomean))
+		tab.Rows = append(tab.Rows, cells)
+	}
+	return tab, nil
+}

@@ -1,0 +1,78 @@
+package exp
+
+import (
+	"fmt"
+	"strconv"
+
+	"facil/internal/engine"
+	"facil/internal/soc"
+)
+
+// Fig14Lengths is the paper's prefill-to-decode grid axis.
+var Fig14Lengths = []int{8, 16, 32, 64, 128}
+
+// Fig14Cell is one (platform, prefill, decode) TTLT speedup.
+type Fig14Cell struct {
+	Platform string
+	Prefill  int
+	Decode   int
+	Speedup  float64
+}
+
+// Fig14Compute evaluates the single-query TTLT speedup of FACIL over the
+// SoC-PIM hybrid baseline across prefill-to-decode combinations (paper
+// Fig. 14).
+func (l *Lab) Fig14Compute(platform soc.Platform) ([]Fig14Cell, error) {
+	s, err := l.System(platform)
+	if err != nil {
+		return nil, err
+	}
+	var cells []Fig14Cell
+	for _, pf := range Fig14Lengths {
+		for _, dec := range Fig14Lengths {
+			base, err := s.TTLTStatic(engine.HybridStatic, pf, dec)
+			if err != nil {
+				return nil, err
+			}
+			facil, err := s.TTLTStatic(engine.FACIL, pf, dec)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, Fig14Cell{
+				Platform: platform.Name,
+				Prefill:  pf,
+				Decode:   dec,
+				Speedup:  engine.Speedup(base, facil),
+			})
+		}
+	}
+	return cells, nil
+}
+
+// Fig14 renders one platform's grid (rows: prefill, columns: decode).
+func (l *Lab) Fig14(platform soc.Platform) (Table, error) {
+	cells, err := l.Fig14Compute(platform)
+	if err != nil {
+		return Table{}, err
+	}
+	tab := Table{
+		Title:  fmt.Sprintf("Fig. 14: TTLT speedup of FACIL over hybrid baseline (%s)", platform.Name),
+		Header: []string{"prefill \\ decode"},
+		Notes: []string{
+			"paper: speedup amortizes with decode length; ~10% remains at decode 64",
+		},
+	}
+	for _, d := range Fig14Lengths {
+		tab.Header = append(tab.Header, "D"+strconv.Itoa(d))
+	}
+	i := 0
+	for _, pf := range Fig14Lengths {
+		row := []string{"P" + strconv.Itoa(pf)}
+		for range Fig14Lengths {
+			row = append(row, x(cells[i].Speedup))
+			i++
+		}
+		tab.Rows = append(tab.Rows, row)
+	}
+	return tab, nil
+}

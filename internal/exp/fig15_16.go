@@ -1,0 +1,143 @@
+package exp
+
+import (
+	"fmt"
+
+	"facil/internal/engine"
+	"facil/internal/soc"
+	"facil/internal/stats"
+	"facil/internal/workload"
+)
+
+// DatasetKinds are the designs compared on the real-world datasets,
+// matching the bars of Figs. 15-16.
+var DatasetKinds = []engine.Kind{
+	engine.SoCOnly,
+	engine.HybridStatic,
+	engine.HybridDynamic,
+	engine.FACIL,
+}
+
+// DatasetResult summarizes one (platform, dataset) evaluation.
+type DatasetResult struct {
+	Platform string
+	Dataset  string
+	// TTFTSpeedup and TTLTSpeedup hold geomean speedups over the
+	// hybrid-static baseline, keyed like DatasetKinds.
+	TTFTSpeedup map[engine.Kind]float64
+	TTLTSpeedup map[engine.Kind]float64
+	// FACILOverSoCOnlyTTLT is the paper's headline TTLT comparison
+	// (3.55x Alpaca / 3.58x code on average).
+	FACILOverSoCOnlyTTLT float64
+}
+
+// DatasetConfig sizes the sampled workloads.
+type DatasetConfig struct {
+	Queries int
+	Seed    int64
+}
+
+// DefaultDatasetConfig mirrors the paper's sampling scale at a tractable
+// query count.
+func DefaultDatasetConfig() DatasetConfig {
+	return DatasetConfig{Queries: 150, Seed: 2024}
+}
+
+// EvalDataset runs every design over a sampled dataset on one platform.
+func (l *Lab) EvalDataset(p soc.Platform, spec workload.Spec, cfg DatasetConfig) (DatasetResult, error) {
+	s, err := l.System(p)
+	if err != nil {
+		return DatasetResult{}, err
+	}
+	ds, err := workload.Generate(spec, cfg.Queries, cfg.Seed)
+	if err != nil {
+		return DatasetResult{}, err
+	}
+	res := DatasetResult{
+		Platform:    p.Name,
+		Dataset:     spec.Name,
+		TTFTSpeedup: make(map[engine.Kind]float64),
+		TTLTSpeedup: make(map[engine.Kind]float64),
+	}
+	ttftRatios := make(map[engine.Kind][]float64)
+	ttltRatios := make(map[engine.Kind][]float64)
+	var facilOverSoC []float64
+	for _, q := range ds.Queries {
+		baseTTFT, err := s.TTFT(engine.HybridStatic, q.Prefill)
+		if err != nil {
+			return DatasetResult{}, err
+		}
+		baseTTLT, err := s.TTLT(engine.HybridStatic, q.Prefill, q.Decode)
+		if err != nil {
+			return DatasetResult{}, err
+		}
+		perKindTTLT := make(map[engine.Kind]float64)
+		for _, k := range DatasetKinds {
+			ttft, err := s.TTFT(k, q.Prefill)
+			if err != nil {
+				return DatasetResult{}, err
+			}
+			ttlt, err := s.TTLT(k, q.Prefill, q.Decode)
+			if err != nil {
+				return DatasetResult{}, err
+			}
+			perKindTTLT[k] = ttlt
+			ttftRatios[k] = append(ttftRatios[k], engine.Speedup(baseTTFT, ttft))
+			ttltRatios[k] = append(ttltRatios[k], engine.Speedup(baseTTLT, ttlt))
+		}
+		facilOverSoC = append(facilOverSoC,
+			engine.Speedup(perKindTTLT[engine.SoCOnly], perKindTTLT[engine.FACIL]))
+	}
+	for _, k := range DatasetKinds {
+		res.TTFTSpeedup[k] = stats.Geomean(ttftRatios[k])
+		res.TTLTSpeedup[k] = stats.Geomean(ttltRatios[k])
+	}
+	res.FACILOverSoCOnlyTTLT = stats.Geomean(facilOverSoC)
+	return res, nil
+}
+
+// datasetTable renders either the TTFT (Fig. 15) or TTLT (Fig. 16) view.
+func (l *Lab) datasetTable(spec workload.Spec, cfg DatasetConfig, ttft bool, title, note string) (Table, error) {
+	tab := Table{
+		Title:  title,
+		Header: []string{"platform"},
+		Notes:  []string{note},
+	}
+	for _, k := range DatasetKinds {
+		tab.Header = append(tab.Header, k.String())
+	}
+	for _, p := range soc.All() {
+		res, err := l.EvalDataset(p, spec, cfg)
+		if err != nil {
+			return Table{}, err
+		}
+		row := []string{p.Name}
+		for _, k := range DatasetKinds {
+			v := res.TTFTSpeedup[k]
+			if !ttft {
+				v = res.TTLTSpeedup[k]
+			}
+			row = append(row, x(v))
+		}
+		if !ttft {
+			row[len(row)-1] = fmt.Sprintf("%s (%.2fx vs SoC-only)",
+				row[len(row)-1], res.FACILOverSoCOnlyTTLT)
+		}
+		tab.Rows = append(tab.Rows, row)
+	}
+	return tab, nil
+}
+
+// Fig15 renders the dataset TTFT comparison (speedup over hybrid static).
+func (l *Lab) Fig15(spec workload.Spec, cfg DatasetConfig) (Table, error) {
+	return l.datasetTable(spec, cfg, true,
+		fmt.Sprintf("Fig. 15: normalized TTFT speedup on %s", spec.Name),
+		"paper geomeans: FACIL 2.37x (Alpaca), 2.63x (code autocompletion) over hybrid static")
+}
+
+// Fig16 renders the dataset TTLT comparison.
+func (l *Lab) Fig16(spec workload.Spec, cfg DatasetConfig) (Table, error) {
+	return l.datasetTable(spec, cfg, false,
+		fmt.Sprintf("Fig. 16: normalized TTLT speedup on %s", spec.Name),
+		"paper: FACIL TTLT 1.20x over hybrid static; 3.55x/3.58x over SoC-only")
+}

@@ -1,0 +1,96 @@
+package exp
+
+import (
+	"fmt"
+
+	"facil/internal/engine"
+	"facil/internal/soc"
+)
+
+// Fig2a reproduces the decode-time breakdown of Fig. 2(a): one decode
+// step of Llama3-8B on the Jetson SoC, split into the paper's categories.
+func (l *Lab) Fig2a() (Table, error) {
+	s, err := l.System(soc.Jetson)
+	if err != nil {
+		return Table{}, err
+	}
+	m := s.Model
+
+	// Group the linear GEMVs the way the paper labels them.
+	groups := []struct {
+		label string
+		match func(name string) bool
+	}{
+		{"Q/O proj", func(n string) bool { return n == "q_proj" || n == "o_proj" }},
+		{"K/V proj", func(n string) bool { return n == "k_proj" || n == "v_proj" }},
+		{"FC (gate/up)", func(n string) bool { return n == "gate_proj" || n == "up_proj" || n == "fc1" }},
+		{"FC (down)", func(n string) bool { return n == "down_proj" || n == "fc2" }},
+		{"LM head", func(n string) bool { return n == "lm_head" }},
+	}
+	times := make([]float64, len(groups))
+	var linear float64
+	for _, w := range m.WeightMatrices() {
+		op := soc.Linear{L: 1, In: w.In, Out: w.Out, DTypeBytes: m.DTypeBytes}
+		t := s.Platform.Seconds(op)
+		if w.PerLayer {
+			t *= float64(m.Layers)
+		}
+		linear += t
+		for gi, g := range groups {
+			if g.match(w.Name) {
+				times[gi] += t
+			}
+		}
+	}
+	b, err := s.DecodeStepBreakdown(engine.SoCOnly, 64)
+	if err != nil {
+		return Table{}, err
+	}
+	total := linear + b.AttentionSeconds + b.OtherSeconds
+
+	tab := Table{
+		Title:  "Fig. 2(a): decode step time breakdown (Llama3-8B on Jetson SoC, ctx 64)",
+		Header: []string{"component", "time", "share"},
+	}
+	for gi, g := range groups {
+		tab.Rows = append(tab.Rows, []string{g.label, ms(times[gi]), pc(times[gi] / total)})
+	}
+	tab.Rows = append(tab.Rows,
+		[]string{"attention (KV)", ms(b.AttentionSeconds), pc(b.AttentionSeconds / total)},
+		[]string{"other (non-linear)", ms(b.OtherSeconds), pc(b.OtherSeconds / total)},
+		[]string{"total", ms(total), pc(1)},
+	)
+	tab.Notes = append(tab.Notes,
+		fmt.Sprintf("linear ops take %.1f%% of the step; the paper reports >90%%", 100*linear/total))
+	return tab, nil
+}
+
+// Fig2b reproduces Fig. 2(b): compute and memory-bandwidth utilization of
+// the four Llama3-8B GEMV dimensions on the Jetson.
+func (l *Lab) Fig2b() (Table, error) {
+	s, err := l.System(soc.Jetson)
+	if err != nil {
+		return Table{}, err
+	}
+	m := s.Model
+	dims := []struct {
+		label   string
+		in, out int
+	}{
+		{"4096x4096 (Q/O)", m.Hidden, m.Hidden},
+		{"4096x1024 (K/V)", m.Hidden, m.KVDim()},
+		{"4096x14336 (up/gate)", m.Hidden, m.Intermediate},
+		{"14336x4096 (down)", m.Intermediate, m.Hidden},
+	}
+	tab := Table{
+		Title:  "Fig. 2(b): GEMV compute vs memory utilization (Jetson)",
+		Header: []string{"GEMV dim", "compute util", "memory BW util"},
+	}
+	for _, d := range dims {
+		op := soc.Linear{L: 1, In: d.in, Out: d.out, DTypeBytes: m.DTypeBytes}
+		u := s.Platform.UtilizationOf(op)
+		tab.Rows = append(tab.Rows, []string{d.label, fmt.Sprintf("%.2f%%", 100*u.Compute), pc(u.Memory)})
+	}
+	tab.Notes = append(tab.Notes, "paper: compute utilization below 1%, memory bandwidth heavily utilized")
+	return tab, nil
+}

@@ -1,0 +1,69 @@
+package exp
+
+import (
+	"fmt"
+
+	"facil/internal/engine"
+	"facil/internal/soc"
+)
+
+// Fig3Result carries the Fig. 3 speedups.
+type Fig3Result struct {
+	GPUSeconds      float64
+	IdealNPUSeconds float64
+	PIMSeconds      float64
+	// SpeedupVsGPU and SpeedupVsIdealNPU are end-to-end decode-phase
+	// speedups (64 tokens, seq 64).
+	SpeedupVsGPU      float64
+	SpeedupVsIdealNPU float64
+}
+
+// Fig3Compute evaluates Fig. 3: decode of 64 tokens (input and output
+// length 64) of Llama3-8B on Jetson, with GEMV offloaded to AiM-style PIM,
+// compared against the GPU and against an ideal NPU with infinite FLOPS
+// and 100% peak-bandwidth utilization.
+func (l *Lab) Fig3Compute() (Fig3Result, error) {
+	s, err := l.System(soc.Jetson)
+	if err != nil {
+		return Fig3Result{}, err
+	}
+	const prefill, decode = 64, 64
+	var r Fig3Result
+	for step := 0; step < decode; step++ {
+		ctx := prefill + step
+		gpu, err := s.DecodeStepSeconds(engine.SoCOnly, ctx)
+		if err != nil {
+			return Fig3Result{}, err
+		}
+		pim, err := s.DecodeStepSeconds(engine.FACIL, ctx)
+		if err != nil {
+			return Fig3Result{}, err
+		}
+		r.GPUSeconds += gpu
+		r.PIMSeconds += pim
+		r.IdealNPUSeconds += s.IdealNPUDecodeStepSeconds(ctx)
+	}
+	r.SpeedupVsGPU = r.GPUSeconds / r.PIMSeconds
+	r.SpeedupVsIdealNPU = r.IdealNPUSeconds / r.PIMSeconds
+	return r, nil
+}
+
+// Fig3 renders Fig3Compute.
+func (l *Lab) Fig3() (Table, error) {
+	r, err := l.Fig3Compute()
+	if err != nil {
+		return Table{}, err
+	}
+	return Table{
+		Title:  "Fig. 3: PIM potential for decode (Llama3-8B on Jetson, 64+64 tokens)",
+		Header: []string{"executor", "decode time", "speedup vs GPU"},
+		Rows: [][]string{
+			{"GPU (SoC only)", fmt.Sprintf("%.2f s", r.GPUSeconds), x(1)},
+			{"ideal NPU (peak-BW bound)", fmt.Sprintf("%.2f s", r.IdealNPUSeconds), x(r.GPUSeconds / r.IdealNPUSeconds)},
+			{"AiM-style PIM", fmt.Sprintf("%.2f s", r.PIMSeconds), x(r.SpeedupVsGPU)},
+		},
+		Notes: []string{
+			fmt.Sprintf("PIM over ideal NPU: %.2fx (paper: 3.32x)", r.SpeedupVsIdealNPU),
+		},
+	}, nil
+}

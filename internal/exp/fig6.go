@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"strconv"
+
+	"facil/internal/engine"
+	"facil/internal/soc"
+)
+
+// Fig6Row is one prefill length of the re-layout motivation study.
+type Fig6Row struct {
+	Prefill          int
+	BaselineSeconds  float64 // prefill GEMM only (no re-layout)
+	WithRelayoutSecs float64 // on-demand re-layout + prefill GEMM
+	Increase         float64 // WithRelayout / Baseline
+}
+
+// Fig6Compute reproduces Fig. 6: the TTFT increase caused by on-demand
+// re-layout on the Jetson with Llama3-8B, across input sequence lengths.
+func (l *Lab) Fig6Compute() ([]Fig6Row, error) {
+	s, err := l.System(soc.Jetson)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig6Row
+	for _, p := range []int{4, 8, 16, 32, 64} {
+		base, err := s.TTFTStatic(engine.SoCOnly, p)
+		if err != nil {
+			return nil, err
+		}
+		withRe, err := s.TTFTStatic(engine.HybridStatic, p)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig6Row{
+			Prefill:          p,
+			BaselineSeconds:  base,
+			WithRelayoutSecs: withRe,
+			Increase:         withRe / base,
+		})
+	}
+	return rows, nil
+}
+
+// Fig6 renders Fig6Compute.
+func (l *Lab) Fig6() (Table, error) {
+	rows, err := l.Fig6Compute()
+	if err != nil {
+		return Table{}, err
+	}
+	tab := Table{
+		Title:  "Fig. 6: TTFT increase due to re-layout (Llama3-8B on Jetson)",
+		Header: []string{"prefill len", "TTFT w/o re-layout", "TTFT w/ re-layout", "increase"},
+		Notes: []string{
+			"paper: TTFT grows ~3x, from ~100 ms to ~300 ms",
+		},
+	}
+	for _, r := range rows {
+		tab.Rows = append(tab.Rows, []string{
+			strconv.Itoa(r.Prefill), ms(r.BaselineSeconds), ms(r.WithRelayoutSecs), x(r.Increase),
+		})
+	}
+	return tab, nil
+}

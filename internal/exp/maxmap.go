@@ -1,0 +1,56 @@
+package exp
+
+import (
+	"strconv"
+
+	"facil/internal/dram"
+	"facil/internal/mapping"
+	"facil/internal/soc"
+)
+
+// MaxMapID tabulates the mapping-family size for each platform geometry
+// plus the paper's worst case (Sec. IV-B formula).
+func MaxMapID() (Table, error) {
+	tab := Table{
+		Title: "max(MapID) = log2(hugePage / (totalBanks * transferBytes)) per platform",
+		Header: []string{
+			"memory system", "total banks", "max MapID", "min MapID (AiM)",
+			"PIM mappings", "PTE bits",
+		},
+		Notes: []string{
+			"paper worst case: single channel/rank 8-bank LPDDR5 -> max MapID 13, 4 PTE bits",
+		},
+	}
+	worst := dram.Geometry{
+		Channels:        1,
+		RanksPerChannel: 1,
+		BanksPerRank:    8,
+		Rows:            1 << 16,
+		RowBytes:        2048,
+		TransferBytes:   32,
+	}
+	type entry struct {
+		name string
+		g    dram.Geometry
+	}
+	entries := []entry{{"worst case (1ch/1rk/8bank)", worst}}
+	for _, p := range soc.All() {
+		entries = append(entries, entry{p.Spec.Name, p.Spec.Geometry})
+	}
+	for _, e := range entries {
+		mc := mapping.MemoryConfig{Geometry: e.g, HugePageBytes: 2 << 20}
+		if err := mc.Validate(); err != nil {
+			return Table{}, err
+		}
+		chunk := mapping.AiMChunk(e.g)
+		tab.Rows = append(tab.Rows, []string{
+			e.name,
+			strconv.Itoa(e.g.TotalBanks()),
+			strconv.Itoa(int(mapping.MaxMapID(mc))),
+			strconv.Itoa(int(mapping.MinMapID(mc, chunk))),
+			strconv.Itoa(mapping.MapIDCount(mc, chunk)),
+			strconv.Itoa(mapping.MapIDBits(mc, chunk)),
+		})
+	}
+	return tab, nil
+}

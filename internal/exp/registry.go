@@ -1,0 +1,190 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"facil/internal/soc"
+	"facil/internal/workload"
+)
+
+// Run executes an experiment by its DESIGN.md identifier and returns the
+// rendered tables. "all" runs every experiment.
+func (l *Lab) Run(id string) ([]Table, error) {
+	runner, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown experiment %q (known: %v)", id, IDs())
+	}
+	return runner(l)
+}
+
+// IDs lists the registered experiment identifiers.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+type runner func(l *Lab) ([]Table, error)
+
+func one(f func(l *Lab) (Table, error)) runner {
+	return func(l *Lab) ([]Table, error) {
+		t, err := f(l)
+		if err != nil {
+			return nil, err
+		}
+		return []Table{t}, nil
+	}
+}
+
+var registry = map[string]runner{
+	"fig2a": one((*Lab).Fig2a),
+	"fig2b": one((*Lab).Fig2b),
+	"fig3":  one((*Lab).Fig3),
+	"fig6":  one((*Lab).Fig6),
+	"tab1": func(l *Lab) ([]Table, error) {
+		t, err := Table1(DefaultTable1Config())
+		if err != nil {
+			return nil, err
+		}
+		return []Table{t}, nil
+	},
+	"tab2": func(l *Lab) ([]Table, error) {
+		return []Table{Table2()}, nil
+	},
+	"tab3": func(l *Lab) ([]Table, error) {
+		t, err := Table3(soc.LayoutSlowdownConfig{})
+		if err != nil {
+			return nil, err
+		}
+		return []Table{t}, nil
+	},
+	"fig13": one((*Lab).Fig13),
+	"fig14": func(l *Lab) ([]Table, error) {
+		var out []Table
+		for _, p := range soc.All() {
+			t, err := l.Fig14(p)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, t)
+		}
+		return out, nil
+	},
+	"fig15": func(l *Lab) ([]Table, error) {
+		return l.datasetPair((*Lab).Fig15)
+	},
+	"fig16": func(l *Lab) ([]Table, error) {
+		return l.datasetPair((*Lab).Fig16)
+	},
+	"cosched": func(l *Lab) ([]Table, error) {
+		t, err := Cosched()
+		if err != nil {
+			return nil, err
+		}
+		return []Table{t}, nil
+	},
+	"quant": func(l *Lab) ([]Table, error) {
+		t, err := Quant()
+		if err != nil {
+			return nil, err
+		}
+		return []Table{t}, nil
+	},
+	"pimstyle": func(l *Lab) ([]Table, error) {
+		t, err := PIMStyle()
+		if err != nil {
+			return nil, err
+		}
+		return []Table{t}, nil
+	},
+	"energy": func(l *Lab) ([]Table, error) {
+		t, err := l.Energy()
+		if err != nil {
+			return nil, err
+		}
+		return []Table{t}, nil
+	},
+	"serving": func(l *Lab) ([]Table, error) {
+		t, err := l.Serving()
+		if err != nil {
+			return nil, err
+		}
+		return []Table{t}, nil
+	},
+	"maxmap": func(l *Lab) ([]Table, error) {
+		t, err := MaxMapID()
+		if err != nil {
+			return nil, err
+		}
+		return []Table{t}, nil
+	},
+	"ablations": func(l *Lab) ([]Table, error) {
+		var out []Table
+		t, err := l.AblationRelayoutPolicy()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		t, err = l.AblationDynamicThreshold()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		t, err = AblationSchedulerWindow()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		t, err = AblationRowPolicy()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		t, err = AblationConventionalMapping()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		t, err = AblationXORHashing()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		t, err = AblationGEMMStreams()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		t, err = AblationMACInterval()
+		if err != nil {
+			return nil, err
+		}
+		return append(out, t), nil
+	},
+}
+
+// datasetPair evaluates a figure over both paper datasets.
+func (l *Lab) datasetPair(f func(*Lab, workload.Spec, DatasetConfig) (Table, error)) ([]Table, error) {
+	var out []Table
+	for _, spec := range []workload.Spec{workload.AlpacaSpec(), workload.AutocompleteSpec()} {
+		t, err := f(l, spec, DefaultDatasetConfig())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// AllIDs is the DESIGN.md experiment order for "run everything".
+var AllIDs = []string{
+	"fig2a", "fig2b", "fig3", "fig6",
+	"tab1", "tab2", "tab3",
+	"fig13", "fig14", "fig15", "fig16",
+	"maxmap", "ablations",
+	"cosched", "quant", "pimstyle", "energy", "serving",
+}

@@ -1,0 +1,13 @@
+package exp
+
+import "testing"
+
+func TestAblationRowPolicyShape(t *testing.T) {
+	tab, err := AblationRowPolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}

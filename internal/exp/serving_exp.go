@@ -1,0 +1,56 @@
+package exp
+
+import (
+	"fmt"
+
+	"facil/internal/engine"
+	"facil/internal/serve"
+	"facil/internal/soc"
+	"facil/internal/workload"
+)
+
+// Serving evaluates perceived responsiveness under load: queries arrive
+// over time and wait FCFS for the device, so designs with longer TTLT run
+// closer to saturation at the same offered rate and their *perceived*
+// TTFT degrades super-linearly. Not a paper figure — an extension showing
+// how FACIL's latency advantage compounds in a serving setting.
+func (l *Lab) Serving() (Table, error) {
+	s, err := l.System(soc.Jetson)
+	if err != nil {
+		return Table{}, err
+	}
+	kinds := []engine.Kind{engine.SoCOnly, engine.HybridStatic, engine.HybridDynamic, engine.FACIL}
+	tab := Table{
+		Title: "Extension: perceived latency under serving load (Jetson, Alpaca traffic)",
+		Header: []string{
+			"arrival rate", "design", "perceived TTFT (mean)", "perceived TTFT (p99)",
+			"utilization", "max queue",
+		},
+		Notes: []string{
+			"perceived TTFT = queueing wait + TTFT; FCFS single device, 150 queries",
+		},
+	}
+	for _, rate := range []float64{0.1, 0.3, 0.45} {
+		cfg := serve.Config{
+			ArrivalRate: rate,
+			Queries:     150,
+			Workload:    workload.AlpacaSpec(),
+			Seed:        11,
+		}
+		sums, err := serve.Compare(s, kinds, cfg)
+		if err != nil {
+			return Table{}, err
+		}
+		for _, sum := range sums {
+			tab.Rows = append(tab.Rows, []string{
+				fmt.Sprintf("%.2f q/s", rate),
+				sum.Kind.String(),
+				ms(sum.PerceivedTTFTMean),
+				ms(sum.PerceivedTTFTP99),
+				pc(sum.Utilization),
+				fmt.Sprintf("%d", sum.MaxQueueDepth),
+			})
+		}
+	}
+	return tab, nil
+}

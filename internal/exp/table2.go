@@ -1,0 +1,35 @@
+package exp
+
+import (
+	"fmt"
+
+	"facil/internal/soc"
+)
+
+// Table2 renders the platform specification table (paper Table II).
+func Table2() Table {
+	tab := Table{
+		Title: "Table II: evaluated platforms and models",
+		Header: []string{
+			"platform", "processor", "type", "peak TFLOPS (FP16)",
+			"DRAM", "bus", "capacity", "peak BW", "ridge AI", "model", "framework",
+		},
+	}
+	for _, p := range soc.All() {
+		m := PlatformModel(p)
+		tab.Rows = append(tab.Rows, []string{
+			p.Name,
+			p.Processor,
+			p.ProcessorType,
+			f1(p.PeakTFLOPS),
+			fmt.Sprintf("LPDDR5-%d", p.Spec.DataRateMbps),
+			fmt.Sprintf("%d-bit", p.Spec.ChannelWidthBits*p.Spec.Geometry.Channels),
+			fmt.Sprintf("%d GB", p.Spec.Geometry.CapacityBytes()>>30),
+			fmt.Sprintf("%.1f GB/s", p.PeakBWGBs()),
+			f1(p.RidgePoint()),
+			m.Name,
+			p.Framework,
+		})
+	}
+	return tab
+}

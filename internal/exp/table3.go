@@ -1,0 +1,117 @@
+package exp
+
+import (
+	"fmt"
+
+	"facil/internal/soc"
+)
+
+// Table3Row is one (platform, layer, prefill) slowdown measurement.
+type Table3Row struct {
+	Platform string
+	Layer    string
+	Prefill  int
+	// MemSlowdown is the raw DRAM-bandwidth degradation of the weight
+	// stream on the PIM layout; OpSlowdown scales it by the op's
+	// memory-bound fraction (what the paper's Table III reports).
+	MemSlowdown float64
+	OpSlowdown  float64
+}
+
+// Table3Compute measures the GEMM slowdown on the PIM-optimized layout
+// for every platform's layer shapes at prefill lengths {4, 16, 64},
+// replacing the paper's GPGPU-Sim/ONNXim experiments with the in-repo
+// DRAM-contention model.
+func Table3Compute(cfg soc.LayoutSlowdownConfig) ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, p := range soc.All() {
+		m := PlatformModel(p)
+		type layer struct {
+			name    string
+			in, out int
+		}
+		var layers []layer
+		if m.KVDim() != m.Hidden {
+			layers = append(layers,
+				layer{"Q/O proj", m.Hidden, m.Hidden},
+				layer{"K/V proj", m.Hidden, m.KVDim()},
+			)
+		} else {
+			layers = append(layers, layer{"Q/K/V/O proj", m.Hidden, m.Hidden})
+		}
+		layers = append(layers,
+			layer{"FC1", m.Hidden, m.Intermediate},
+			layer{"FC2", m.Intermediate, m.Hidden},
+		)
+		for _, ly := range layers {
+			for _, pf := range []int{4, 16, 64} {
+				op := soc.Linear{L: pf, In: ly.in, Out: ly.out, DTypeBytes: m.DTypeBytes}
+				mem, opS, err := soc.MeasureLayoutSlowdown(p, op, cfg)
+				if err != nil {
+					return nil, fmt.Errorf("exp: table3 %s %s P%d: %w", p.Name, ly.name, pf, err)
+				}
+				rows = append(rows, Table3Row{
+					Platform:    p.Name,
+					Layer:       ly.name,
+					Prefill:     pf,
+					MemSlowdown: mem,
+					OpSlowdown:  opS,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// Table3 renders the slowdown grid.
+func Table3(cfg soc.LayoutSlowdownConfig) (Table, error) {
+	rows, err := Table3Compute(cfg)
+	if err != nil {
+		return Table{}, err
+	}
+	tab := Table{
+		Title:  "Table III: GEMM slowdown on PIM-optimized layout",
+		Header: []string{"platform", "layer", "P4", "P16", "P64"},
+		Notes: []string{
+			"paper worst cases: Jetson 2.1%, MacBook 0.1%, IdeaPad 1.1%, iPhone 1.6%",
+			"substitution: DRAM-contention stream model replaces GPGPU-Sim/ONNXim",
+		},
+	}
+	// Group rows by (platform, layer).
+	type key struct{ p, l string }
+	byKey := map[key][3]float64{}
+	var order []key
+	for _, r := range rows {
+		k := key{r.Platform, r.Layer}
+		v, ok := byKey[k]
+		if !ok {
+			order = append(order, k)
+		}
+		switch r.Prefill {
+		case 4:
+			v[0] = r.OpSlowdown
+		case 16:
+			v[1] = r.OpSlowdown
+		case 64:
+			v[2] = r.OpSlowdown
+		}
+		byKey[k] = v
+	}
+	for _, k := range order {
+		v := byKey[k]
+		tab.Rows = append(tab.Rows, []string{k.p, k.l, pc(v[0]), pc(v[1]), pc(v[2])})
+	}
+	return tab, nil
+}
+
+// Table3WorstCase returns the per-platform worst-case op slowdown, the
+// constant the engine applies conservatively to all FACIL GEMMs.
+func Table3WorstCase(rows []Table3Row) map[string]float64 {
+	worst := map[string]float64{}
+	for _, r := range rows {
+		if r.OpSlowdown > worst[r.Platform] {
+			worst[r.Platform] = r.OpSlowdown
+		}
+	}
+	return worst
+}

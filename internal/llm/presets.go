@@ -1,0 +1,82 @@
+package llm
+
+import "fmt"
+
+// The four models of the paper's evaluation (Table II) plus GPT-J-6B,
+// which the paper's introduction cites from MLPerf Inference.
+
+// Llama3_8B returns Meta Llama 3 8B (Jetson and MacBook workload).
+func Llama3_8B() Model {
+	return Model{
+		Name:         "Llama3-8B",
+		Layers:       32,
+		Hidden:       4096,
+		Intermediate: 14336,
+		Heads:        32,
+		KVHeads:      8, // grouped-query attention
+		HeadDim:      128,
+		Vocab:        128256,
+		DTypeBytes:   2,
+		MLP:          MLPGated,
+	}
+}
+
+// OPT_6_7B returns Meta OPT-6.7B (IdeaPad workload).
+func OPT_6_7B() Model {
+	return Model{
+		Name:           "OPT-6.7B",
+		Layers:         32,
+		Hidden:         4096,
+		Intermediate:   16384,
+		Heads:          32,
+		KVHeads:        32,
+		HeadDim:        128,
+		Vocab:          50272,
+		DTypeBytes:     2,
+		MLP:            MLPStandard,
+		TiedEmbeddings: true,
+	}
+}
+
+// Phi1_5 returns Microsoft Phi-1.5 (iPhone workload).
+func Phi1_5() Model {
+	return Model{
+		Name:         "Phi-1.5",
+		Layers:       24,
+		Hidden:       2048,
+		Intermediate: 8192,
+		Heads:        32,
+		KVHeads:      32,
+		HeadDim:      64,
+		Vocab:        51200,
+		DTypeBytes:   2,
+		MLP:          MLPStandard,
+	}
+}
+
+// GPTJ6B returns EleutherAI GPT-J-6B (the MLPerf Inference edge LLM the
+// paper's introduction references).
+func GPTJ6B() Model {
+	return Model{
+		Name:         "GPT-J-6B",
+		Layers:       28,
+		Hidden:       4096,
+		Intermediate: 16384,
+		Heads:        16,
+		KVHeads:      16,
+		HeadDim:      256,
+		Vocab:        50400,
+		DTypeBytes:   2,
+		MLP:          MLPStandard,
+	}
+}
+
+// ByName resolves a preset model.
+func ByName(name string) (Model, error) {
+	for _, m := range []Model{Llama3_8B(), OPT_6_7B(), Phi1_5(), GPTJ6B()} {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Model{}, fmt.Errorf("llm: unknown model %q", name)
+}

@@ -1,0 +1,127 @@
+package mapping
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMapIDsProduceDistinctPlacements: every entry of the mapping table
+// (including the conventional mapping) must place at least some page-
+// offset addresses differently from every other entry — otherwise a
+// MapID would be redundant and the frontend mux oversized.
+func TestMapIDsProduceDistinctPlacements(t *testing.T) {
+	mc := testMem()
+	tab, err := NewTable(mc, AiMChunk(mc.Geometry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := tab.Range()
+	ids := []MapID{ConventionalMapID}
+	for id := min; id <= max; id++ {
+		ids = append(ids, id)
+	}
+	rng := rand.New(rand.NewSource(3))
+	samples := make([]uint64, 256)
+	for i := range samples {
+		samples[i] = rng.Uint64() % uint64(mc.HugePageBytes)
+	}
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			mi, mj := tab.Lookup(ids[i]), tab.Lookup(ids[j])
+			same := true
+			for _, pa := range samples {
+				ai, _ := mi.Translate(pa)
+				aj, _ := mj.Translate(pa)
+				if ai != aj {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Errorf("MapIDs %v and %v are indistinguishable on page offsets", ids[i], ids[j])
+			}
+		}
+	}
+}
+
+// TestMapIDsAgreeOutsidePageOffset: all mappings must place the byte-
+// within-burst offset identically (the SoC's cache-line view never
+// changes), and within one huge page every mapping is a bijection over
+// the page's bursts.
+func TestMapIDsAgreeOnBurstOffset(t *testing.T) {
+	mc := testMem()
+	tab, err := NewTable(mc, AiMChunk(mc.Geometry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := tab.Range()
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 2000; i++ {
+		pa := rng.Uint64() % uint64(mc.Geometry.CapacityBytes())
+		_, convOff := tab.Conventional().Translate(pa)
+		for id := min; id <= max; id++ {
+			_, off := tab.Lookup(id).Translate(pa)
+			if off != convOff {
+				t.Fatalf("MapID %d changed burst offset at %#x: %d vs %d", id, pa, off, convOff)
+			}
+		}
+	}
+}
+
+// TestPIMMappingBijectiveWithinPage: each PIM mapping permutes the bursts
+// of one huge page onto a set of DRAM locations without collision.
+func TestPIMMappingBijectiveWithinPage(t *testing.T) {
+	mc := testMem()
+	tab, err := NewTable(mc, AiMChunk(mc.Geometry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := tab.Range()
+	tb := mc.Geometry.TransferBytes
+	for id := min; id <= max; id++ {
+		m := tab.Lookup(id)
+		seen := make(map[[4]int]bool)
+		for pa := 0; pa < mc.HugePageBytes; pa += tb {
+			a, _ := m.Translate(uint64(pa))
+			key := [4]int{a.GlobalBank(mc.Geometry), a.Row, a.Column, a.Rank}
+			if seen[key] {
+				t.Fatalf("MapID %d: burst collision at offset %#x", id, pa)
+			}
+			seen[key] = true
+		}
+		if len(seen) != mc.HugePageBytes/tb {
+			t.Fatalf("MapID %d: %d distinct locations for %d bursts", id, len(seen), mc.HugePageBytes/tb)
+		}
+	}
+}
+
+// TestEveryBankGetsEqualShareOfPage: a huge page under any PIM mapping
+// spreads its bytes evenly over all banks — the all-bank lock-step
+// requirement in aggregate form.
+func TestEveryBankGetsEqualShareOfPage(t *testing.T) {
+	mc := testMem()
+	tab, err := NewTable(mc, AiMChunk(mc.Geometry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := tab.Range()
+	g := mc.Geometry
+	tb := g.TransferBytes
+	want := mc.HugePageBytes / tb / g.TotalBanks()
+	for id := min; id <= max; id++ {
+		m := tab.Lookup(id)
+		counts := make(map[int]int)
+		for pa := 0; pa < mc.HugePageBytes; pa += tb {
+			a, _ := m.Translate(uint64(pa))
+			counts[a.GlobalBank(g)]++
+		}
+		if len(counts) != g.TotalBanks() {
+			t.Fatalf("MapID %d: page touches %d banks, want %d", id, len(counts), g.TotalBanks())
+		}
+		for bank, c := range counts {
+			if c != want {
+				t.Fatalf("MapID %d: bank %d received %d bursts, want %d", id, bank, c, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Package mc implements FACIL's augmented memory-controller frontend
+// (paper Fig. 12): the physical-address-to-DRAM-address translation stage,
+// extended with a small mux network that selects among the conventional
+// mapping and the PIM-optimized mappings according to the MapID delivered
+// with each request from the TLB/page-table walk.
+package mc
+
+import (
+	"fmt"
+
+	"facil/internal/dram"
+	"facil/internal/mapping"
+)
+
+// MuxesPerRequest is the number of N-to-1 multiplexer groups the frontend
+// needs: one each for the channel, rank, bank, column and row fields.
+const MuxesPerRequest = 5
+
+// HardwareCost summarizes the combinational logic FACIL adds to the
+// frontend — the paper's argument that the change is a local, memory-free
+// augmentation.
+type HardwareCost struct {
+	// Mappings is N, the mux fan-in (conventional + PIM mappings).
+	Mappings int
+	// MuxGroups is the number of mux groups (5).
+	MuxGroups int
+	// MapIDBits is the width of the select signal.
+	MapIDBits int
+}
+
+// Frontend translates {physical address, MapID} pairs into DRAM addresses
+// and drives a DRAM controller backend.
+type Frontend struct {
+	spec  dram.Spec
+	table *mapping.Table
+	ctl   *dram.Controller
+
+	// perMapID counts requests per mapping for diagnostics.
+	perMapID map[mapping.MapID]int64
+	seq      int64
+}
+
+// NewFrontend wires a mapping table to a fresh DRAM controller. The
+// table's geometry must match the spec.
+func NewFrontend(spec dram.Spec, table *mapping.Table) (*Frontend, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if table.Memory().Geometry != spec.Geometry {
+		return nil, fmt.Errorf("mc: mapping table geometry does not match DRAM spec %q", spec.Name)
+	}
+	ctl, err := dram.NewController(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &Frontend{
+		spec:     spec,
+		table:    table,
+		ctl:      ctl,
+		perMapID: make(map[mapping.MapID]int64),
+	}, nil
+}
+
+// Spec returns the DRAM spec.
+func (f *Frontend) Spec() dram.Spec { return f.spec }
+
+// Controller exposes the backend for draining and statistics.
+func (f *Frontend) Controller() *dram.Controller { return f.ctl }
+
+// Table returns the mapping table (the mux inputs).
+func (f *Frontend) Table() *mapping.Table { return f.table }
+
+// Cost reports the added hardware.
+func (f *Frontend) Cost() HardwareCost {
+	n := f.table.Size()
+	bits := 0
+	for (1 << bits) < n {
+		bits++
+	}
+	return HardwareCost{Mappings: n, MuxGroups: MuxesPerRequest, MapIDBits: bits}
+}
+
+// Translate performs the mux selection: the MapID picks the mapping, which
+// splits the physical address into DRAM coordinates.
+func (f *Frontend) Translate(phys uint64, id mapping.MapID) dram.Addr {
+	a, _ := f.table.Lookup(id).Translate(phys)
+	return a
+}
+
+// Access enqueues one burst access. The caller provides the physical
+// address and MapID exactly as the paper's page-table entry delivers them.
+// The returned request carries the completion cycle after Drain.
+func (f *Frontend) Access(phys uint64, id mapping.MapID, write bool, arrival int64) (*dram.Request, error) {
+	if phys >= uint64(f.spec.Geometry.CapacityBytes()) {
+		return nil, fmt.Errorf("mc: physical address %#x outside capacity", phys)
+	}
+	f.seq++
+	req := &dram.Request{
+		Addr:    f.Translate(phys, id),
+		Write:   write,
+		Arrival: arrival,
+		ID:      f.seq,
+	}
+	if err := f.ctl.Enqueue(req); err != nil {
+		return nil, err
+	}
+	f.perMapID[id]++
+	return req, nil
+}
+
+// Drain completes all outstanding requests and returns the last cycle.
+func (f *Frontend) Drain() int64 { return f.ctl.Drain() }
+
+// RequestsByMapID returns a copy of the per-mapping request counters.
+func (f *Frontend) RequestsByMapID() map[mapping.MapID]int64 {
+	out := make(map[mapping.MapID]int64, len(f.perMapID))
+	for k, v := range f.perMapID {
+		out[k] = v
+	}
+	return out
+}

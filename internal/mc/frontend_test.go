@@ -1,0 +1,126 @@
+package mc
+
+import (
+	"testing"
+
+	"facil/internal/dram"
+	"facil/internal/mapping"
+)
+
+func testSetup(t *testing.T) (dram.Spec, *mapping.Table) {
+	t.Helper()
+	spec := dram.MustLPDDR5("mc test", 32, 6400, 2, 1<<30) // 2 channels, 1 GiB
+	mc := mapping.MemoryConfig{Geometry: spec.Geometry, HugePageBytes: 2 << 20}
+	tab, err := mapping.NewTable(mc, mapping.AiMChunk(spec.Geometry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec, tab
+}
+
+func TestFrontendTranslateMux(t *testing.T) {
+	spec, tab := testSetup(t)
+	f, err := NewFrontend(spec, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same physical address translates differently under the
+	// conventional and a PIM mapping — the essence of the mux.
+	pa := uint64(0x123460)
+	conv := f.Translate(pa, mapping.ConventionalMapID)
+	min, _ := tab.Range()
+	pim := f.Translate(pa, min)
+	if conv == pim {
+		t.Errorf("conventional and PIM translation agree at %#x: %v", pa, conv)
+	}
+	// Both must match the underlying mappings exactly.
+	wantConv, _ := tab.Conventional().Translate(pa)
+	if conv != wantConv {
+		t.Errorf("conventional mux output %v, want %v", conv, wantConv)
+	}
+	wantPIM, _ := tab.Lookup(min).Translate(pa)
+	if pim != wantPIM {
+		t.Errorf("PIM mux output %v, want %v", pim, wantPIM)
+	}
+}
+
+func TestFrontendAccessAndDrain(t *testing.T) {
+	spec, tab := testSetup(t)
+	f, err := NewFrontend(spec, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, _ := tab.Range()
+	var reqs []*dram.Request
+	for i := 0; i < 256; i++ {
+		id := mapping.ConventionalMapID
+		if i%2 == 1 {
+			id = min
+		}
+		r, err := f.Access(uint64(i*32), id, i%4 == 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs = append(reqs, r)
+	}
+	done := f.Drain()
+	if done <= 0 {
+		t.Fatal("no completion cycle")
+	}
+	for i, r := range reqs {
+		if r.Done <= 0 {
+			t.Errorf("request %d never completed", i)
+		}
+	}
+	counts := f.RequestsByMapID()
+	if counts[mapping.ConventionalMapID] != 128 || counts[min] != 128 {
+		t.Errorf("per-MapID counts = %v", counts)
+	}
+	s := f.Controller().Stats()
+	if s.Reads+s.Writes != 256 {
+		t.Errorf("controller saw %d requests, want 256", s.Reads+s.Writes)
+	}
+}
+
+func TestFrontendRejectsOutOfRange(t *testing.T) {
+	spec, tab := testSetup(t)
+	f, err := NewFrontend(spec, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Access(uint64(spec.Geometry.CapacityBytes()), 0, false, 0); err == nil {
+		t.Error("out-of-capacity physical address accepted")
+	}
+}
+
+func TestFrontendGeometryMismatch(t *testing.T) {
+	spec, _ := testSetup(t)
+	other := dram.MustLPDDR5("other", 64, 6400, 2, 1<<30)
+	mcfg := mapping.MemoryConfig{Geometry: other.Geometry, HugePageBytes: 2 << 20}
+	tab, err := mapping.NewTable(mcfg, mapping.AiMChunk(other.Geometry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFrontend(spec, tab); err == nil {
+		t.Error("geometry mismatch accepted")
+	}
+}
+
+func TestHardwareCost(t *testing.T) {
+	spec, tab := testSetup(t)
+	f, err := NewFrontend(spec, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := f.Cost()
+	if c.MuxGroups != 5 {
+		t.Errorf("MuxGroups = %d, want 5 (channel/rank/bank/column/row)", c.MuxGroups)
+	}
+	if c.Mappings != tab.Size() {
+		t.Errorf("Mappings = %d, want %d", c.Mappings, tab.Size())
+	}
+	// Paper Sec. V-A: four PTE bits suffice even in the worst case.
+	if c.MapIDBits > 4 {
+		t.Errorf("MapIDBits = %d, want <= 4", c.MapIDBits)
+	}
+}

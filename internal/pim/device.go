@@ -1,0 +1,195 @@
+package pim
+
+import (
+	"fmt"
+
+	"facil/internal/dram"
+	"facil/internal/mapping"
+)
+
+// GEMVResult reports one simulated GEMV execution.
+type GEMVResult struct {
+	// Cycles is the per-channel completion cycle (channels run the same
+	// lock-step schedule, so one channel's timeline is the system's).
+	Cycles int64
+	// Seconds is Cycles in wall-clock time.
+	Seconds float64
+	// MACs is the number of all-bank MAC commands issued per rank.
+	MACs int64
+	// Activations is the number of all-bank row activations per rank.
+	Activations int64
+	// InputBursts / OutputBursts is the data-bus traffic per channel.
+	InputBursts  int64
+	OutputBursts int64
+	// PartialSums reports the column-partition factor; values > 1 mean
+	// the SoC must reduce that many partial outputs per element.
+	PartialSums int
+	// EffectiveInternalGBs is weight bytes / Seconds for the whole
+	// system.
+	EffectiveInternalGBs float64
+}
+
+// Device simulates GEMV offload onto a PIM-enabled memory system. GEMV
+// timings are cached per matrix shape: the schedule depends only on the
+// placement, not on values.
+type Device struct {
+	spec dram.Spec
+	cfg  Config
+	mem  mapping.MemoryConfig
+	cach map[mapping.MatrixConfig]GEMVResult
+}
+
+// NewDevice validates the configuration and builds a device.
+func NewDevice(spec dram.Spec, cfg Config) (*Device, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(spec.Geometry); err != nil {
+		return nil, err
+	}
+	return &Device{
+		spec: spec,
+		cfg:  cfg,
+		mem:  mapping.MemoryConfig{Geometry: spec.Geometry, HugePageBytes: 2 << 20},
+		cach: make(map[mapping.MatrixConfig]GEMVResult),
+	}, nil
+}
+
+// Spec returns the memory spec.
+func (d *Device) Spec() dram.Spec { return d.spec }
+
+// Config returns the PIM configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// GEMV simulates y = W·x for a weight matrix placed by FACIL's mapping
+// selector. The schedule per channel:
+//
+//	for each 2 KB input segment:
+//	    broadcast the segment into each rank's global buffer (data bus)
+//	    for each DRAM row (pass) using that segment:
+//	        all-bank ACT on each rank
+//	        one all-bank MAC per burst of the row, ranks interleaved
+//	        all-bank PRE on each rank
+//	drain accumulated outputs over the data bus
+//
+// Channels execute identical lock-step schedules, so a single channel is
+// simulated and its completion time is the device's.
+func (d *Device) GEMV(matrix mapping.MatrixConfig) (GEMVResult, error) {
+	if r, ok := d.cach[matrix]; ok {
+		return r, nil
+	}
+	sel, err := mapping.SelectMapping(matrix, d.mem, d.cfg.Chunk)
+	if err != nil {
+		return GEMVResult{}, err
+	}
+	g := d.spec.Geometry
+	res := GEMVResult{PartialSums: sel.PartitionsPerRow}
+
+	rowBytes := int64(matrix.PaddedRowBytes())
+	totalBytes := int64(matrix.Rows) * rowBytes
+	// Weight bytes per bank, rounded up to whole DRAM rows.
+	perBank := (totalBytes + int64(g.TotalBanks()) - 1) / int64(g.TotalBanks())
+	dramRowsPerBank := int((perBank + int64(g.RowBytes) - 1) / int64(g.RowBytes))
+	if dramRowsPerBank == 0 {
+		dramRowsPerBank = 1
+	}
+	// Input segments: the vector is consumed in global-buffer-sized
+	// slices. A partitioned matrix splits the vector across PU groups,
+	// but every segment still reaches every rank's buffer over the bus.
+	inBytes := int64(matrix.Cols) * int64(matrix.DTypeBytes)
+	segments := int((inBytes + int64(g.RowBytes) - 1) / int64(g.RowBytes))
+	if segments == 0 {
+		segments = 1
+	}
+	// Passes per segment: DRAM rows per bank are spread evenly over the
+	// segments they consume.
+	passesPerSeg := (dramRowsPerBank + segments - 1) / segments
+
+	burstsPerRow := g.ColumnsPerRow()
+	segBursts := d.cfg.GlobalBufferBytes / g.TransferBytes
+
+	ch := dram.NewChannel(&d.spec)
+	ranks := g.RanksPerChannel
+	row := 0
+	passesLeft := dramRowsPerBank
+	for seg := 0; seg < segments && passesLeft > 0; seg++ {
+		for rk := 0; rk < ranks; rk++ {
+			if _, err := ch.WriteGlobalBuffer(rk, segBursts); err != nil {
+				return GEMVResult{}, err
+			}
+			res.InputBursts += int64(segBursts)
+		}
+		passes := passesPerSeg
+		if passes > passesLeft {
+			passes = passesLeft
+		}
+		for p := 0; p < passes; p++ {
+			for rk := 0; rk < ranks; rk++ {
+				if _, err := ch.AllBankACT(rk, row%g.Rows); err != nil {
+					return GEMVResult{}, err
+				}
+			}
+			res.Activations++
+			for b := 0; b < burstsPerRow; b++ {
+				for rk := 0; rk < ranks; rk++ {
+					if _, err := ch.AllBankMAC(rk, b, d.cfg.MACIntervalCycles); err != nil {
+						return GEMVResult{}, err
+					}
+				}
+				res.MACs++
+			}
+			for rk := 0; rk < ranks; rk++ {
+				if _, err := ch.AllBankPRE(rk); err != nil {
+					return GEMVResult{}, err
+				}
+			}
+			row++
+		}
+		passesLeft -= passes
+	}
+	// Output drain: Rows x PartitionsPerRow partial elements system-
+	// wide, spread across channels.
+	outElems := int64(matrix.Rows) * int64(sel.PartitionsPerRow)
+	outBytes := outElems * int64(matrix.DTypeBytes)
+	outBurstsPerChannel := int((outBytes/int64(g.Channels) + int64(g.TransferBytes) - 1) / int64(g.TransferBytes))
+	perRank := (outBurstsPerChannel + ranks - 1) / ranks
+	for rk := 0; rk < ranks; rk++ {
+		if _, err := ch.ReadMACResults(rk, perRank); err != nil {
+			return GEMVResult{}, err
+		}
+		res.OutputBursts += int64(perRank)
+	}
+
+	res.Cycles = ch.Now()
+	res.Seconds = d.spec.Timing.Seconds(res.Cycles)
+	if res.Seconds > 0 {
+		res.EffectiveInternalGBs = float64(totalBytes) / res.Seconds / 1e9
+	}
+	d.cach[matrix] = res
+	return res, nil
+}
+
+// GEMVSeconds is a convenience wrapper returning only the latency.
+func (d *Device) GEMVSeconds(matrix mapping.MatrixConfig) (float64, error) {
+	r, err := d.GEMV(matrix)
+	if err != nil {
+		return 0, err
+	}
+	return r.Seconds, nil
+}
+
+// GEMMSeconds models a prefill GEMM executed on PIM as L back-to-back
+// GEMV passes: the weights stream from the banks once per input row (the
+// global buffer holds one input vector at a time), so latency scales
+// linearly with L. This is what makes PIM competitive only for
+// tall-and-skinny GEMMs (paper Sec. VI-C, "hybrid dynamic").
+func (d *Device) GEMMSeconds(matrix mapping.MatrixConfig, l int) (float64, error) {
+	if l <= 0 {
+		return 0, fmt.Errorf("pim: GEMM length %d must be positive", l)
+	}
+	s, err := d.GEMVSeconds(matrix)
+	if err != nil {
+		return 0, err
+	}
+	return float64(l) * s, nil
+}

@@ -1,0 +1,62 @@
+package relayout
+
+import (
+	"testing"
+
+	"facil/internal/mapping"
+)
+
+func TestDistinctPairsMeasuredSeparately(t *testing.T) {
+	e, tab, _ := testEngine(t)
+	min, max := tab.Range()
+	if min == max {
+		t.Skip("geometry exposes a single PIM mapping")
+	}
+	a, err := e.Cost(min, mapping.ConventionalMapID, 32<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Cost(max, mapping.ConventionalMapID, 32<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different source mappings produce independent measurements; both
+	// must be positive and finite.
+	if a.Seconds <= 0 || b.Seconds <= 0 {
+		t.Errorf("non-positive costs: %g, %g", a.Seconds, b.Seconds)
+	}
+	if a.SimulatedBytes != b.SimulatedBytes {
+		t.Errorf("sample windows differ: %d vs %d", a.SimulatedBytes, b.SimulatedBytes)
+	}
+}
+
+func TestZeroBytesZeroCost(t *testing.T) {
+	e, tab, _ := testEngine(t)
+	min, _ := tab.Range()
+	res, err := e.Cost(min, mapping.ConventionalMapID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seconds != 0 {
+		t.Errorf("zero bytes cost %g s", res.Seconds)
+	}
+}
+
+func TestPIMMappingSequentialReadSlower(t *testing.T) {
+	// A purely sequential SoC stream through a PIM mapping loses the
+	// channel interleave (whole chunks pin to one bank), so its
+	// single-stream bandwidth must fall below the conventional mapping's.
+	e, tab, _ := testEngine(t)
+	min, _ := tab.Range()
+	conv, err := e.SequentialReadBandwidth(mapping.ConventionalMapID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pim, err := e.SequentialReadBandwidth(min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pim >= conv {
+		t.Errorf("sequential read under PIM mapping (%.1f) not below conventional (%.1f)", pim, conv)
+	}
+}

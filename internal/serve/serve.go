@@ -1,0 +1,132 @@
+// Package serve layers a single-device, FCFS serving queue on top of the
+// inference engines: queries arrive over time, wait for the device, then
+// run prefill+decode to completion. On-device assistants serve exactly
+// this way (one user, bursty requests), and queueing amplifies the
+// latency differences between the designs: a slower engine is closer to
+// saturation at the same arrival rate, so its *perceived* time-to-first-
+// token degrades super-linearly. Not a paper experiment — an extension
+// quantifying user-perceived responsiveness under load.
+package serve
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"facil/internal/engine"
+	"facil/internal/stats"
+	"facil/internal/workload"
+)
+
+// Config describes one serving scenario.
+type Config struct {
+	// ArrivalRate is the mean query arrival rate in queries/second
+	// (exponential inter-arrival gaps).
+	ArrivalRate float64
+	// Queries is the number of simulated queries.
+	Queries int
+	// Workload samples the (prefill, decode) lengths.
+	Workload workload.Spec
+	// Seed drives arrivals and lengths.
+	Seed int64
+}
+
+// Validate rejects degenerate scenarios.
+func (c Config) Validate() error {
+	if c.ArrivalRate <= 0 {
+		return fmt.Errorf("serve: arrival rate must be positive")
+	}
+	if c.Queries <= 0 {
+		return fmt.Errorf("serve: query count must be positive")
+	}
+	return nil
+}
+
+// Summary reports the serving behaviour of one design.
+type Summary struct {
+	Kind engine.Kind
+	// PerceivedTTFT is wait + TTFT (arrival to first token), seconds.
+	PerceivedTTFTMean float64
+	PerceivedTTFTP99  float64
+	// PerceivedTTLT is arrival to last token.
+	PerceivedTTLTMean float64
+	// Utilization is busy time / makespan.
+	Utilization float64
+	// MaxQueueDepth is the deepest backlog observed.
+	MaxQueueDepth int
+}
+
+// Simulate runs cfg.Queries through an FCFS single-device queue under a
+// design and summarizes perceived latencies.
+func Simulate(s *engine.System, k engine.Kind, cfg Config) (Summary, error) {
+	if err := cfg.Validate(); err != nil {
+		return Summary{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ds, err := workload.Generate(cfg.Workload, cfg.Queries, cfg.Seed+1)
+	if err != nil {
+		return Summary{}, err
+	}
+
+	var (
+		clock    float64 // arrival clock
+		freeAt   float64 // device becomes free
+		busy     float64
+		ttfts    []float64
+		ttlts    []float64
+		inFlight []float64 // completion times of queued/running queries
+		maxDepth int
+	)
+	for _, q := range ds.Queries {
+		clock += rng.ExpFloat64() / cfg.ArrivalRate
+		ttft, err := s.TTFT(k, q.Prefill)
+		if err != nil {
+			return Summary{}, err
+		}
+		ttlt, err := s.TTLT(k, q.Prefill, q.Decode)
+		if err != nil {
+			return Summary{}, err
+		}
+		start := math.Max(clock, freeAt)
+		freeAt = start + ttlt
+		busy += ttlt
+		ttfts = append(ttfts, start+ttft-clock)
+		ttlts = append(ttlts, freeAt-clock)
+
+		// Queue depth: completions still pending at this arrival.
+		depth := 0
+		inFlight = append(inFlight, freeAt)
+		for _, done := range inFlight {
+			if done > clock {
+				depth++
+			}
+		}
+		if depth > maxDepth {
+			maxDepth = depth
+		}
+	}
+	sum := Summary{
+		Kind:              k,
+		PerceivedTTFTMean: stats.Mean(ttfts),
+		PerceivedTTFTP99:  stats.Percentile(ttfts, 99),
+		PerceivedTTLTMean: stats.Mean(ttlts),
+		MaxQueueDepth:     maxDepth,
+	}
+	if freeAt > 0 {
+		sum.Utilization = busy / freeAt
+	}
+	return sum, nil
+}
+
+// Compare runs every design through the same scenario.
+func Compare(s *engine.System, kinds []engine.Kind, cfg Config) ([]Summary, error) {
+	out := make([]Summary, 0, len(kinds))
+	for _, k := range kinds {
+		sum, err := Simulate(s, k, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sum)
+	}
+	return out, nil
+}

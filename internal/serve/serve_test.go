@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"testing"
+
+	"facil/internal/engine"
+	"facil/internal/llm"
+	"facil/internal/soc"
+	"facil/internal/workload"
+)
+
+func servingSystem(t *testing.T) *engine.System {
+	t.Helper()
+	s, err := engine.NewSystem(soc.IPhone, llm.Phi1_5(), engine.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func testConfig(rate float64) Config {
+	return Config{
+		ArrivalRate: rate,
+		Queries:     120,
+		Workload:    workload.AlpacaSpec(),
+		Seed:        5,
+	}
+}
+
+func TestSimulateBasics(t *testing.T) {
+	s := servingSystem(t)
+	sum, err := Simulate(s, engine.FACIL, testConfig(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.PerceivedTTFTMean <= 0 || sum.PerceivedTTLTMean <= sum.PerceivedTTFTMean {
+		t.Errorf("latencies implausible: %+v", sum)
+	}
+	if sum.Utilization <= 0 || sum.Utilization > 1 {
+		t.Errorf("utilization = %g", sum.Utilization)
+	}
+	if sum.PerceivedTTFTP99 < sum.PerceivedTTFTMean {
+		t.Errorf("p99 %.3f below mean %.3f", sum.PerceivedTTFTP99, sum.PerceivedTTFTMean)
+	}
+	if sum.MaxQueueDepth < 1 {
+		t.Errorf("queue depth %d", sum.MaxQueueDepth)
+	}
+}
+
+func TestLoadAmplifiesLatency(t *testing.T) {
+	s := servingSystem(t)
+	light, err := Simulate(s, engine.HybridStatic, testConfig(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := Simulate(s, engine.HybridStatic, testConfig(0.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy.PerceivedTTFTMean <= light.PerceivedTTFTMean {
+		t.Errorf("load did not raise perceived TTFT: %.3f vs %.3f",
+			heavy.PerceivedTTFTMean, light.PerceivedTTFTMean)
+	}
+	if heavy.Utilization <= light.Utilization {
+		t.Error("utilization did not rise with load")
+	}
+}
+
+func TestFACILServesBetterUnderLoad(t *testing.T) {
+	s := servingSystem(t)
+	cfg := testConfig(0.3)
+	sums, err := Compare(s, []engine.Kind{engine.HybridStatic, engine.FACIL}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hybrid, facil := sums[0], sums[1]
+	if facil.PerceivedTTFTMean >= hybrid.PerceivedTTFTMean {
+		t.Errorf("FACIL perceived TTFT %.3f not below hybrid %.3f",
+			facil.PerceivedTTFTMean, hybrid.PerceivedTTFTMean)
+	}
+	if facil.Utilization >= hybrid.Utilization {
+		t.Errorf("FACIL utilization %.2f not below hybrid %.2f (same offered load)",
+			facil.Utilization, hybrid.Utilization)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	s := servingSystem(t)
+	if _, err := Simulate(s, engine.FACIL, Config{ArrivalRate: 0, Queries: 10}); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := Simulate(s, engine.FACIL, Config{ArrivalRate: 1, Queries: 0}); err == nil {
+		t.Error("zero queries accepted")
+	}
+}

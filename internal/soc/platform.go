@@ -1,0 +1,138 @@
+// Package soc models the SoC processors (GPU/NPU) of the paper's four
+// evaluation platforms with a roofline execution model, plus the
+// cache-line-locality model used to estimate the GEMM slowdown when
+// operating directly on a PIM-optimized layout (paper Table III).
+package soc
+
+import (
+	"fmt"
+
+	"facil/internal/dram"
+)
+
+// Platform captures one row of paper Table II plus the measured per-device
+// constants the evaluation uses.
+type Platform struct {
+	// Name is the device name, e.g. "NVIDIA Jetson AGX Orin 64GB".
+	Name string
+	// Processor is the primary SoC processor executing non-PIM work.
+	Processor string
+	// ProcessorType is "GPU" or "NPU".
+	ProcessorType string
+	// PeakTFLOPS is the FP16 peak throughput of the processor.
+	PeakTFLOPS float64
+	// Spec is the platform's memory system.
+	Spec dram.Spec
+	// MemBWUtil is the memory-bandwidth utilization the paper measured
+	// for GEMV kernels on this device (Sec. VI-C): 0.763 / 0.883 /
+	// 0.333 / 0.746.
+	MemBWUtil float64
+	// GEMMSlowdown is the conservative worst-case slowdown the paper
+	// applies to GEMM on a PIM-optimized layout (Table III).
+	GEMMSlowdown float64
+	// Model is the LLM evaluated on this platform.
+	Model string
+	// Framework is the inference library the paper used.
+	Framework string
+}
+
+// Validate rejects incomplete platforms.
+func (p Platform) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("soc: platform needs a name")
+	}
+	if p.PeakTFLOPS <= 0 {
+		return fmt.Errorf("soc: platform %s: PeakTFLOPS must be positive", p.Name)
+	}
+	if err := p.Spec.Validate(); err != nil {
+		return err
+	}
+	if p.MemBWUtil <= 0 || p.MemBWUtil > 1 {
+		return fmt.Errorf("soc: platform %s: MemBWUtil %g out of (0,1]", p.Name, p.MemBWUtil)
+	}
+	if p.GEMMSlowdown < 0 || p.GEMMSlowdown > 1 {
+		return fmt.Errorf("soc: platform %s: GEMMSlowdown %g out of [0,1]", p.Name, p.GEMMSlowdown)
+	}
+	return nil
+}
+
+// PeakBWGBs returns the theoretical peak memory bandwidth.
+func (p Platform) PeakBWGBs() float64 { return p.Spec.PeakBandwidthGBs() }
+
+// EffectiveBWGBs returns the bandwidth memory-bound kernels achieve.
+func (p Platform) EffectiveBWGBs() float64 { return p.PeakBWGBs() * p.MemBWUtil }
+
+// RidgePoint returns the roofline ridge arithmetic intensity in FLOP/byte:
+// peak FLOPS / peak bandwidth (paper Sec. VI-B quotes 207.5 / 69.3 / 93.8 /
+// 83.8 for the four platforms).
+func (p Platform) RidgePoint() float64 {
+	return p.PeakTFLOPS * 1e12 / (p.PeakBWGBs() * 1e9)
+}
+
+// The four evaluation platforms (paper Table II). Peak bandwidths derive
+// from the memory specs; the remaining constants are the paper's.
+var (
+	// Jetson is the NVIDIA Jetson AGX Orin 64GB.
+	Jetson = Platform{
+		Name:          "NVIDIA Jetson AGX Orin 64GB",
+		Processor:     "Ampere CUDA/Tensor Cores",
+		ProcessorType: "GPU",
+		PeakTFLOPS:    42.5,
+		Spec:          dram.JetsonOrinLPDDR5,
+		MemBWUtil:     0.763,
+		GEMMSlowdown:  0.021,
+		Model:         "Llama3-8B",
+		Framework:     "TinyChatEngine",
+	}
+	// Macbook is the Apple MacBook Pro (M3 Max).
+	Macbook = Platform{
+		Name:          "Apple MacBook Pro",
+		Processor:     "M3 Max",
+		ProcessorType: "GPU",
+		PeakTFLOPS:    28.4,
+		Spec:          dram.MacbookLPDDR5,
+		MemBWUtil:     0.883,
+		GEMMSlowdown:  0.001,
+		Model:         "Llama3-8B",
+		Framework:     "MLX",
+	}
+	// IdeaPad is the Lenovo IdeaPad Slim 5 (Core Ultra 7 155H NPU).
+	IdeaPad = Platform{
+		Name:          "Lenovo IdeaPad Slim 5",
+		Processor:     "Intel Core Ultra 7 155H",
+		ProcessorType: "NPU",
+		PeakTFLOPS:    5.6,
+		Spec:          dram.IdeaPadLPDDR5X,
+		MemBWUtil:     0.333,
+		GEMMSlowdown:  0.011,
+		Model:         "OPT-6.7B",
+		Framework:     "Intel NPU Library",
+	}
+	// IPhone is the Apple iPhone 15 Pro (A17 Pro).
+	IPhone = Platform{
+		Name:          "Apple iPhone 15 Pro",
+		Processor:     "A17 Pro",
+		ProcessorType: "GPU",
+		PeakTFLOPS:    4.29,
+		Spec:          dram.IPhoneLPDDR5,
+		MemBWUtil:     0.746,
+		GEMMSlowdown:  0.016,
+		Model:         "Phi-1.5",
+		Framework:     "MLX Swift",
+	}
+)
+
+// All returns the four platforms in the paper's order.
+func All() []Platform {
+	return []Platform{Jetson, Macbook, IdeaPad, IPhone}
+}
+
+// ByName finds a platform by (case-sensitive) name.
+func ByName(name string) (Platform, error) {
+	for _, p := range All() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Platform{}, fmt.Errorf("soc: unknown platform %q", name)
+}

@@ -1,0 +1,84 @@
+package soc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPlatformsValidate(t *testing.T) {
+	for _, p := range All() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestRidgePointsMatchPaper(t *testing.T) {
+	// Paper Sec. VI-B: ridge arithmetic intensities 207.5 (Jetson),
+	// 69.3 (MacBook), 93.8 (IdeaPad), 83.8 (iPhone).
+	cases := []struct {
+		p    Platform
+		want float64
+	}{
+		{Jetson, 207.5},
+		{Macbook, 69.3},
+		{IdeaPad, 93.8},
+		{IPhone, 83.8},
+	}
+	for _, c := range cases {
+		got := c.p.RidgePoint()
+		if math.Abs(got-c.want)/c.want > 0.01 {
+			t.Errorf("%s ridge = %.1f, want %.1f", c.p.Name, got, c.want)
+		}
+	}
+}
+
+func TestPeakBandwidthsMatchTable2(t *testing.T) {
+	cases := []struct {
+		p    Platform
+		want float64
+	}{
+		{Jetson, 204.8},
+		{Macbook, 409.6},
+		{IdeaPad, 59.7},
+		{IPhone, 51.2},
+	}
+	for _, c := range cases {
+		if got := c.p.PeakBWGBs(); math.Abs(got-c.want)/c.want > 0.01 {
+			t.Errorf("%s peak BW = %.1f, want %.1f", c.p.Name, got, c.want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("Apple iPhone 15 Pro")
+	if err != nil || p.Processor != "A17 Pro" {
+		t.Errorf("ByName: %+v, %v", p, err)
+	}
+	if _, err := ByName("Pixel"); err == nil {
+		t.Error("unknown platform accepted")
+	}
+}
+
+func TestPlatformValidateRejectsBadFields(t *testing.T) {
+	p := Jetson
+	p.MemBWUtil = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero MemBWUtil accepted")
+	}
+	p = Jetson
+	p.PeakTFLOPS = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative TFLOPS accepted")
+	}
+	p = Jetson
+	p.GEMMSlowdown = 2
+	if err := p.Validate(); err == nil {
+		t.Error("GEMMSlowdown > 1 accepted")
+	}
+	p = Jetson
+	p.Name = ""
+	if err := p.Validate(); err == nil {
+		t.Error("empty name accepted")
+	}
+}

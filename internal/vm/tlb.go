@@ -1,0 +1,137 @@
+package vm
+
+import (
+	"fmt"
+
+	"facil/internal/mapping"
+)
+
+// TLBEntry caches one translation together with its MapID. Because the
+// MapID lives in PTE bits that exist anyway, caching it requires no TLB
+// datapath change (paper Sec. V-A).
+type TLBEntry struct {
+	vpn   uint64
+	huge  bool
+	phys  uint64
+	mapID mapping.MapID
+	valid bool
+	lru   uint64
+}
+
+// TLBStats counts lookups.
+type TLBStats struct {
+	Hits   int64
+	Misses int64
+}
+
+// HitRate returns hits / lookups.
+func (s TLBStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// TLB is a set-associative translation lookaside buffer supporting mixed
+// 4 KB and 2 MB entries, backed by a PageTable on miss.
+type TLB struct {
+	sets  int
+	ways  int
+	ents  []TLBEntry // sets*ways
+	pt    *PageTable
+	clock uint64
+	stats TLBStats
+}
+
+// NewTLB builds a TLB with the given sets and ways over a page table.
+func NewTLB(sets, ways int, pt *PageTable) (*TLB, error) {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("vm: TLB sets %d must be a positive power of two", sets)
+	}
+	if ways <= 0 {
+		return nil, fmt.Errorf("vm: TLB ways %d must be positive", ways)
+	}
+	return &TLB{sets: sets, ways: ways, ents: make([]TLBEntry, sets*ways), pt: pt}, nil
+}
+
+// Stats returns the lookup counters.
+func (t *TLB) Stats() TLBStats { return t.stats }
+
+// Flush invalidates every entry.
+func (t *TLB) Flush() {
+	for i := range t.ents {
+		t.ents[i].valid = false
+	}
+}
+
+// Translate looks va up, walking the page table on a miss.
+func (t *TLB) Translate(va uint64) (Translation, error) {
+	t.clock++
+	// Probe both page sizes (hardware probes both in parallel; entries
+	// of either size share the structure).
+	for _, huge := range [2]bool{true, false} {
+		vpn := va >> BasePageBits
+		if huge {
+			vpn = va >> HugePageBits
+		}
+		set := int(vpn) & (t.sets - 1)
+		for w := 0; w < t.ways; w++ {
+			e := &t.ents[set*t.ways+w]
+			if e.valid && e.huge == huge && e.vpn == vpn {
+				e.lru = t.clock
+				t.stats.Hits++
+				mask := uint64(BasePageBytes - 1)
+				size := BasePageBytes
+				if huge {
+					mask = HugePageBytes - 1
+					size = HugePageBytes
+				}
+				return Translation{
+					Phys:      e.phys | (va & mask),
+					MapID:     e.mapID,
+					PageBytes: size,
+				}, nil
+			}
+		}
+	}
+	t.stats.Misses++
+	tr, err := t.pt.Walk(va)
+	if err != nil {
+		return Translation{}, err
+	}
+	t.fill(va, tr)
+	return tr, nil
+}
+
+// fill inserts a translation, evicting the set's LRU victim.
+func (t *TLB) fill(va uint64, tr Translation) {
+	huge := tr.PageBytes == HugePageBytes
+	vpn := va >> BasePageBits
+	if huge {
+		vpn = va >> HugePageBits
+	}
+	set := int(vpn) & (t.sets - 1)
+	victim := set * t.ways
+	for w := 0; w < t.ways; w++ {
+		e := &t.ents[set*t.ways+w]
+		if !e.valid {
+			victim = set*t.ways + w
+			break
+		}
+		if e.lru < t.ents[victim].lru {
+			victim = set*t.ways + w
+		}
+	}
+	mask := uint64(BasePageBytes - 1)
+	if huge {
+		mask = HugePageBytes - 1
+	}
+	t.ents[victim] = TLBEntry{
+		vpn:   vpn,
+		huge:  huge,
+		phys:  tr.Phys &^ mask,
+		mapID: tr.MapID,
+		valid: true,
+		lru:   t.clock,
+	}
+}
