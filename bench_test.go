@@ -6,6 +6,7 @@ package facil
 // row/series the paper reports.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -49,7 +50,7 @@ func runExperiment(b *testing.B, id string) {
 	b.Helper()
 	l := lab()
 	for i := 0; i < b.N; i++ {
-		tabs, err := l.Run(id)
+		tabs, err := l.Run(context.Background(), id)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -82,7 +83,7 @@ func BenchmarkTable1HugePageLoad(b *testing.B) {
 	cfg := exp.DefaultTable1Config()
 	cfg.Scale = 16 // 1 GB model in a 4 GB memory per cell; times rescaled
 	for i := 0; i < b.N; i++ {
-		tab, err := exp.Table1(cfg)
+		tab, err := lab().Table1(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -106,7 +107,7 @@ func BenchmarkAblationRelayoutPolicy(b *testing.B) {
 func BenchmarkAblationDynamicThreshold(b *testing.B) {
 	l := lab()
 	for i := 0; i < b.N; i++ {
-		tab, err := l.AblationDynamicThreshold()
+		tab, err := l.AblationDynamicThreshold(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -116,7 +117,7 @@ func BenchmarkAblationDynamicThreshold(b *testing.B) {
 
 func BenchmarkAblationRowPolicy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tab, err := exp.AblationRowPolicy()
+		tab, err := lab().AblationRowPolicy(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -126,7 +127,7 @@ func BenchmarkAblationRowPolicy(b *testing.B) {
 
 func BenchmarkAblationSchedulerWindow(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tab, err := exp.AblationSchedulerWindow()
+		tab, err := lab().AblationSchedulerWindow(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -136,7 +137,7 @@ func BenchmarkAblationSchedulerWindow(b *testing.B) {
 
 func BenchmarkAblationConventionalMapping(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tab, err := exp.AblationConventionalMapping()
+		tab, err := lab().AblationConventionalMapping(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -146,11 +147,38 @@ func BenchmarkAblationConventionalMapping(b *testing.B) {
 
 func BenchmarkAblationMACInterval(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tab, err := exp.AblationMACInterval()
+		tab, err := lab().AblationMACInterval(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
 		printOnce("ablation-mac-interval", []exp.Table{tab})
+	}
+}
+
+// BenchmarkParallelSweep compares serial (-par 1) against the full worker
+// pool (-par 0 = GOMAXPROCS) on the two heaviest sweeps. Each iteration
+// uses a fresh lab so both settings pay the same cold simulation caches;
+// on a multi-core runner the parallel variants should show the speedup
+// the DESIGN.md concurrency model promises.
+func BenchmarkParallelSweep(b *testing.B) {
+	for _, id := range []string{"fig14", "fig15"} {
+		for _, par := range []int{1, 0} {
+			b.Run(fmt.Sprintf("%s/par=%d", id, par), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					l := exp.NewLab(engine.DefaultConfig())
+					l.SetParallelism(par)
+					b.StartTimer()
+					tabs, err := l.Run(context.Background(), id)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(tabs) == 0 {
+						b.Fatal("no tables")
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -3,28 +3,48 @@
 //
 // Usage:
 //
-//	facilsim [-list] [-queries N] [-seed S] [-scale K] [experiment ...]
+//	facilsim [-list] [-par N] [-v] [-queries N] [-seed S] [-scale K] [experiment ...]
 //
 // With no arguments every experiment runs in DESIGN.md order. Experiment
 // identifiers: fig2a fig2b fig3 fig6 tab1 tab2 tab3 fig13 fig14 fig15
 // fig16 maxmap ablations cosched quant pimstyle energy serving.
+//
+// -par N bounds the worker pool: independent experiment identifiers run
+// concurrently, and each ported experiment additionally fans its sweep
+// points out over up to N workers (0, the default, selects GOMAXPROCS;
+// 1 forces fully serial runs). Output is streamed in command-line order
+// and is byte-identical at any parallelism. -v reports per-experiment
+// sweep progress on stderr. SIGINT/SIGTERM cancel all in-flight
+// experiments promptly.
+//
+// A failing experiment no longer aborts the run: remaining identifiers
+// still execute, the failures are summarized on stderr at the end, and
+// the exit status is non-zero.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
+	"facil/internal/dram"
 	"facil/internal/engine"
 	"facil/internal/exp"
+	"facil/internal/parallel"
 	"facil/internal/workload"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list experiment identifiers and exit")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned text tables")
+	par := flag.Int("par", 0, "max concurrent sweep workers (0 = GOMAXPROCS, 1 = serial)")
+	verbose := flag.Bool("v", false, "report sweep progress on stderr")
 	queries := flag.Int("queries", 0, "dataset experiments: queries per dataset (0 = default)")
 	seed := flag.Int64("seed", 0, "dataset experiments: sampling seed (0 = default)")
 	scale := flag.Int64("scale", 0, "tab1: memory down-scale factor (0 = default 8, 1 = paper-size)")
@@ -42,39 +62,103 @@ func main() {
 		return
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	ids := flag.Args()
 	if len(ids) == 0 {
 		ids = exp.AllIDs
 	}
 	lab := exp.NewLab(engine.DefaultConfig())
-	for _, id := range ids {
-		start := time.Now()
-		tabs, err := run(lab, id, *queries, *seed, *scale)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "facilsim: %s: %v\n", id, err)
-			os.Exit(1)
+	lab.SetParallelism(*par)
+	if *verbose {
+		var mu sync.Mutex
+		lab.SetProgress(func(experiment string, done, total int) {
+			mu.Lock()
+			fmt.Fprintf(os.Stderr, "facilsim: %s: %d/%d\n", experiment, done, total)
+			mu.Unlock()
+		})
+	}
+
+	// Experiment identifiers run concurrently on the same worker bound as
+	// the per-experiment sweeps; results stream in command-line order. A
+	// point never returns an error to the sweep — failures are captured
+	// per identifier so one bad experiment cannot cancel the others.
+	type outcome struct {
+		tabs    []exp.Table
+		err     error
+		elapsed time.Duration
+	}
+	results := make([]outcome, len(ids))
+	ready := make([]chan struct{}, len(ids))
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+	idxs := make([]int, len(ids))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	go func() {
+		finished := make([]bool, len(ids))
+		_, _ = parallel.Sweep(ctx, idxs, func(ctx context.Context, i int) (struct{}, error) {
+			start := time.Now()
+			tabs, err := run(ctx, lab, ids[i], *queries, *seed, *scale)
+			results[i] = outcome{tabs: tabs, err: err, elapsed: time.Since(start)}
+			finished[i] = true
+			close(ready[i])
+			return struct{}{}, nil
+		}, parallel.Workers(*par))
+		// On cancellation some identifiers are never dispatched; release
+		// the printer with the context's error so it cannot block. Sweep
+		// has returned, so no worker still touches finished/results.
+		for i := range ids {
+			if !finished[i] {
+				results[i] = outcome{err: ctx.Err()}
+				close(ready[i])
+			}
 		}
-		for _, t := range tabs {
+	}()
+
+	var failed []string
+	for i, id := range ids {
+		<-ready[i]
+		res := results[i]
+		if res.err != nil {
+			fmt.Fprintf(os.Stderr, "facilsim: %s: %v\n", id, res.err)
+			failed = append(failed, id)
+			continue
+		}
+		for _, t := range res.tabs {
 			if *csvOut {
 				fmt.Printf("# %s\n", t.Title)
 				if err := t.WriteCSV(os.Stdout); err != nil {
 					fmt.Fprintf(os.Stderr, "facilsim: %s: %v\n", id, err)
-					os.Exit(1)
+					failed = append(failed, id)
+					break
 				}
 				fmt.Println()
 			} else {
 				fmt.Println(t.String())
 			}
 		}
-		if !*csvOut {
-			fmt.Printf("[%s finished in %.1fs]\n\n", id, time.Since(start).Seconds())
+		if !*csvOut && res.err == nil {
+			fmt.Printf("[%s finished in %.1fs]\n\n", id, res.elapsed.Seconds())
 		}
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "facilsim: DRAM totals: %d stream replays, %d requests, %d cycles\n",
+			dram.Global.Streams(), dram.Global.Requests(), dram.Global.Cycles())
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "facilsim: %d of %d experiments failed: %s\n",
+			len(failed), len(ids), strings.Join(failed, " "))
+		os.Exit(1)
 	}
 }
 
 // run dispatches one experiment, honoring the override flags for the
 // parameterizable ones.
-func run(lab *exp.Lab, id string, queries int, seed, scale int64) ([]exp.Table, error) {
+func run(ctx context.Context, lab *exp.Lab, id string, queries int, seed, scale int64) ([]exp.Table, error) {
 	switch id {
 	case "tab1":
 		cfg := exp.DefaultTable1Config()
@@ -84,14 +168,14 @@ func run(lab *exp.Lab, id string, queries int, seed, scale int64) ([]exp.Table, 
 		if seed != 0 {
 			cfg.Seed = seed
 		}
-		t, err := exp.Table1(cfg)
+		t, err := lab.Table1(ctx, cfg)
 		if err != nil {
 			return nil, err
 		}
 		return []exp.Table{t}, nil
 	case "fig15", "fig16":
 		if queries <= 0 && seed == 0 {
-			return lab.Run(id)
+			return lab.Run(ctx, id)
 		}
 		cfg := exp.DefaultDatasetConfig()
 		if queries > 0 {
@@ -107,9 +191,9 @@ func run(lab *exp.Lab, id string, queries int, seed, scale int64) ([]exp.Table, 
 				err error
 			)
 			if id == "fig15" {
-				t, err = lab.Fig15(spec, cfg)
+				t, err = lab.Fig15(ctx, spec, cfg)
 			} else {
-				t, err = lab.Fig16(spec, cfg)
+				t, err = lab.Fig16(ctx, spec, cfg)
 			}
 			if err != nil {
 				return nil, err
@@ -118,6 +202,6 @@ func run(lab *exp.Lab, id string, queries int, seed, scale int64) ([]exp.Table, 
 		}
 		return out, nil
 	default:
-		return lab.Run(id)
+		return lab.Run(ctx, id)
 	}
 }

@@ -18,6 +18,8 @@
 package facil
 
 import (
+	"context"
+
 	"facil/internal/engine"
 	"facil/internal/exp"
 	"facil/internal/llm"
@@ -142,10 +144,19 @@ func (s *System) WeightFootprint(d Design) int64 {
 func Speedup(baseline, t float64) float64 { return engine.Speedup(baseline, t) }
 
 // RunExperiment regenerates a paper table/figure by its identifier (see
-// ExperimentIDs) and returns the rendered text tables.
+// ExperimentIDs) and returns the rendered text tables. It runs serially;
+// use RunExperimentContext for cancellation and parallel sweeps.
 func RunExperiment(id string) ([]string, error) {
+	return RunExperimentContext(context.Background(), id, 1)
+}
+
+// RunExperimentContext is RunExperiment with cancellation and a sweep
+// worker bound: experiments fan their points out over up to par workers
+// (0 = GOMAXPROCS, 1 = serial). Tables are byte-identical at any par.
+func RunExperimentContext(ctx context.Context, id string, par int) ([]string, error) {
 	lab := exp.NewLab(engine.DefaultConfig())
-	tabs, err := lab.Run(id)
+	lab.SetParallelism(par)
+	tabs, err := lab.Run(ctx, id)
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,12 @@ package dram
 import "fmt"
 
 // ChannelStats aggregates per-channel scheduler statistics.
+//
+// Counters follow merge-on-join semantics: each Channel owns its counters
+// single-threaded (a Channel is single-owner, never shared between
+// goroutines), and cross-channel or cross-simulation aggregation happens
+// by merging snapshots after the owning simulation finishes. Snapshots
+// are plain values, so merging never races with a running scheduler.
 type ChannelStats struct {
 	Reads       int64
 	Writes      int64
@@ -14,6 +20,22 @@ type ChannelStats struct {
 	DataBusCycles int64
 	// LastDone is the completion cycle of the last finished request.
 	LastDone int64
+}
+
+// Merge folds another snapshot into s: counters add, LastDone takes the
+// later completion cycle. This is the join step of the merge-on-join
+// contract — call it only on snapshots of finished (or paused) channels.
+func (s *ChannelStats) Merge(o ChannelStats) {
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.Activations += o.Activations
+	s.RowHits += o.RowHits
+	s.RowMisses += o.RowMisses
+	s.Refreshes += o.Refreshes
+	s.DataBusCycles += o.DataBusCycles
+	if o.LastDone > s.LastDone {
+		s.LastDone = o.LastDone
+	}
 }
 
 // pendingReq wraps a Request with scheduler-internal bookkeeping.

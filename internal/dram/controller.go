@@ -57,21 +57,13 @@ func (ctl *Controller) Drain() int64 {
 	return last
 }
 
-// Stats sums channel statistics.
+// Stats merges the per-channel snapshots into one system-level snapshot
+// (merge-on-join: each channel's counters are single-owner while the
+// simulation runs).
 func (ctl *Controller) Stats() ChannelStats {
 	var s ChannelStats
 	for _, c := range ctl.channels {
-		cs := c.Stats()
-		s.Reads += cs.Reads
-		s.Writes += cs.Writes
-		s.Activations += cs.Activations
-		s.RowHits += cs.RowHits
-		s.RowMisses += cs.RowMisses
-		s.Refreshes += cs.Refreshes
-		s.DataBusCycles += cs.DataBusCycles
-		if cs.LastDone > s.LastDone {
-			s.LastDone = cs.LastDone
-		}
+		s.Merge(c.Stats())
 	}
 	return s
 }

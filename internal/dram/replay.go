@@ -29,7 +29,9 @@ func replayWindow(spec Spec, reqs []*Request, window int) (int64, ChannelStats, 
 		}
 	}
 	done := ctl.Drain()
-	return done, ctl.Stats(), nil
+	stats := ctl.Stats()
+	Global.record(stats, done)
+	return done, stats, nil
 }
 
 // StreamResult summarizes a replayed stream.

@@ -128,29 +128,24 @@ func (s *System) RelayoutAllWeightsSeconds() (float64, error) {
 // DecodeStepSeconds returns one decode step's latency at context length
 // ctx under a design. Results are memoized.
 func (s *System) DecodeStepSeconds(k Kind, ctx int) (float64, error) {
-	key := decodeKey{kind: k, ctx: ctx}
-	if v, ok := s.decodeCache[key]; ok {
-		return v, nil
-	}
-	var t float64
-	switch k {
-	case SoCOnly:
-		t = s.socDecodeLinearSeconds() + s.socAttentionSeconds(ctx) + s.otherStepSeconds()
-	case HybridStatic, HybridDynamic, FACIL, WeightDuplication:
-		lin, err := s.pimLinearStepSeconds()
-		if err != nil {
-			return 0, err
+	return s.decodeCache.Do(decodeKey{kind: k, ctx: ctx}, func() (float64, error) {
+		switch k {
+		case SoCOnly:
+			return s.socDecodeLinearSeconds() + s.socAttentionSeconds(ctx) + s.otherStepSeconds(), nil
+		case HybridStatic, HybridDynamic, FACIL, WeightDuplication:
+			lin, err := s.pimLinearStepSeconds()
+			if err != nil {
+				return 0, err
+			}
+			at, err := s.pimAttentionSeconds(ctx)
+			if err != nil {
+				return 0, err
+			}
+			return lin + at + s.otherStepSeconds(), nil
+		default:
+			return 0, fmt.Errorf("engine: unknown design %v", k)
 		}
-		at, err := s.pimAttentionSeconds(ctx)
-		if err != nil {
-			return 0, err
-		}
-		t = lin + at + s.otherStepSeconds()
-	default:
-		return 0, fmt.Errorf("engine: unknown design %v", k)
-	}
-	s.decodeCache[key] = t
-	return t, nil
+	})
 }
 
 // IdealNPUDecodeStepSeconds is the paper's Fig. 3 comparator: a

@@ -21,6 +21,7 @@ import (
 
 	"facil/internal/llm"
 	"facil/internal/mapping"
+	"facil/internal/parallel"
 	"facil/internal/pim"
 	"facil/internal/relayout"
 	"facil/internal/soc"
@@ -81,6 +82,13 @@ func DefaultConfig() Config {
 }
 
 // System is one platform+model evaluation stack.
+//
+// A System is safe for concurrent use by multiple goroutines: every
+// query-path field is immutable after NewSystem returns, and the
+// memoization caches (here and in the pim.Device and relayout.Engine it
+// owns) are internally synchronized with in-flight deduplication, so
+// concurrent misses on the same key compute the value exactly once and
+// all callers observe identical results.
 type System struct {
 	Platform soc.Platform
 	Model    llm.Model
@@ -93,11 +101,10 @@ type System struct {
 
 	// weights caches the model's weight matrices with their placement.
 	weights []placedWeight
-	// decodeCache memoizes per-step decode latencies by (kind, ctx).
-	decodeCache map[decodeKey]float64
-	// thresholds caches the dynamic-offload crossover per platform.
-	threshold int
-	thInit    bool
+	// decodeCache memoizes per-step decode latencies by (kind, ctx),
+	// deduplicating concurrent misses so a worker storm computes each
+	// step exactly once.
+	decodeCache parallel.Flight[decodeKey, float64]
 }
 
 type placedWeight struct {
@@ -124,11 +131,10 @@ func NewSystem(p soc.Platform, m llm.Model, cfg Config) (*System, error) {
 		return nil, fmt.Errorf("engine: OtherFraction %g out of [0,1)", cfg.OtherFraction)
 	}
 	s := &System{
-		Platform:    p,
-		Model:       m,
-		cfg:         cfg,
-		mem:         mapping.MemoryConfig{Geometry: p.Spec.Geometry, HugePageBytes: 2 << 20},
-		decodeCache: make(map[decodeKey]float64),
+		Platform: p,
+		Model:    m,
+		cfg:      cfg,
+		mem:      mapping.MemoryConfig{Geometry: p.Spec.Geometry, HugePageBytes: 2 << 20},
 	}
 	pimCfg := pim.DefaultAiM(p.Spec.Geometry)
 	if cfg.PIM != nil {

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 
@@ -53,8 +54,9 @@ func (l *Lab) AblationRelayoutPolicy() (Table, error) {
 
 // AblationDynamicThreshold reports each platform's profiled prefill-length
 // crossover between the PIM and SoC prefill routes, for the hybrid-dynamic
-// baseline and for FACIL (Sec. VI-C).
-func (l *Lab) AblationDynamicThreshold() (Table, error) {
+// baseline and for FACIL (Sec. VI-C). Platforms profile as independent
+// sweep points.
+func (l *Lab) AblationDynamicThreshold(ctx context.Context) (Table, error) {
 	tab := Table{
 		Title:  "Ablation: profiled prefill offload thresholds (SoC beats PIM at L >= threshold)",
 		Header: []string{"platform", "hybrid dynamic", "FACIL"},
@@ -62,21 +64,25 @@ func (l *Lab) AblationDynamicThreshold() (Table, error) {
 			"FACIL's SoC route pays no re-layout, so it crosses over at shorter prefills",
 		},
 	}
-	for _, p := range soc.All() {
+	rows, err := sweep(ctx, l, "ablation-thresholds", soc.All(), func(ctx context.Context, p soc.Platform) ([]string, error) {
 		s, err := l.System(p)
 		if err != nil {
-			return Table{}, err
+			return nil, err
 		}
 		hy, err := s.PrefillThreshold(engine.HybridDynamic)
 		if err != nil {
-			return Table{}, err
+			return nil, err
 		}
 		fa, err := s.PrefillThreshold(engine.FACIL)
 		if err != nil {
-			return Table{}, err
+			return nil, err
 		}
-		tab.Rows = append(tab.Rows, []string{p.Name, strconv.Itoa(hy), strconv.Itoa(fa)})
+		return []string{p.Name, strconv.Itoa(hy), strconv.Itoa(fa)}, nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	tab.Rows = rows
 	return tab, nil
 }
 
@@ -105,8 +111,9 @@ func relayoutStream(spec dram.Spec, bytes int64) ([]*dram.Request, error) {
 
 // AblationSchedulerWindow measures how the memory controller's FR-FCFS
 // reorder window affects the achieved re-layout bandwidth — the scheduling
-// headroom the baseline's re-layout cost estimate depends on.
-func AblationSchedulerWindow() (Table, error) {
+// headroom the baseline's re-layout cost estimate depends on. Windows
+// measure as independent sweep points over fresh controllers.
+func (l *Lab) AblationSchedulerWindow(ctx context.Context) (Table, error) {
 	spec := dram.JetsonOrinLPDDR5
 	reqs, err := relayoutStream(spec, 4<<20)
 	if err != nil {
@@ -116,24 +123,36 @@ func AblationSchedulerWindow() (Table, error) {
 		Title:  "Ablation: FR-FCFS reorder window vs re-layout bandwidth (Jetson memory)",
 		Header: []string{"window", "bandwidth", "row hit rate"},
 	}
-	for _, w := range []int{1, 4, 16, 32, 128} {
-		res, err := dram.MeasureStreamWindow(spec, reqs, w)
-		if err != nil {
-			return Table{}, err
+	rows, err := sweep(ctx, l, "ablation-window", []int{1, 4, 16, 32, 128}, func(ctx context.Context, w int) ([]string, error) {
+		// Each point replays its own copy: requests are mutated by the
+		// scheduler (arrival bookkeeping), so points must not share them.
+		fresh := make([]*dram.Request, len(reqs))
+		for i, r := range reqs {
+			cp := *r
+			fresh[i] = &cp
 		}
-		tab.Rows = append(tab.Rows, []string{
+		res, err := dram.MeasureStreamWindow(spec, fresh, w)
+		if err != nil {
+			return nil, err
+		}
+		return []string{
 			strconv.Itoa(w),
 			fmt.Sprintf("%.1f GB/s", res.BandwidthGBs),
 			pc(res.RowHitRate),
-		})
+		}, nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	tab.Rows = rows
 	return tab, nil
 }
 
 // AblationRowPolicy compares open-row and close-row (auto-precharge) bank
 // management on sequential and random traffic — the classic DRAM policy
-// tradeoff the re-layout and GEMM-stream models sit on top of.
-func AblationRowPolicy() (Table, error) {
+// tradeoff the re-layout and GEMM-stream models sit on top of. The four
+// (traffic, policy) combinations run as independent sweep points.
+func (l *Lab) AblationRowPolicy(ctx context.Context) (Table, error) {
 	spec := dram.IPhoneLPDDR5
 	g := spec.Geometry
 	run := func(policy dram.RowPolicy, random bool) (float64, error) {
@@ -173,6 +192,22 @@ func AblationRowPolicy() (Table, error) {
 		bytes := float64(n * g.TransferBytes)
 		return bytes / spec.Timing.Seconds(cycles) / 1e9, nil
 	}
+	type combo struct {
+		policy dram.RowPolicy
+		random bool
+	}
+	var points []combo
+	for _, random := range []bool{false, true} {
+		for _, policy := range []dram.RowPolicy{dram.OpenRow, dram.CloseRow} {
+			points = append(points, combo{policy: policy, random: random})
+		}
+	}
+	bws, err := sweep(ctx, l, "ablation-rowpolicy", points, func(ctx context.Context, c combo) (float64, error) {
+		return run(c.policy, c.random)
+	})
+	if err != nil {
+		return Table{}, err
+	}
 	tab := Table{
 		Title:  "Ablation: row-buffer policy vs traffic pattern (iPhone memory)",
 		Header: []string{"traffic", "open-row", "close-row (auto-precharge)"},
@@ -180,23 +215,11 @@ func AblationRowPolicy() (Table, error) {
 			"close-row hides precharge latency on random traffic; open-row wins on streams",
 		},
 	}
-	for _, random := range []bool{false, true} {
-		openBW, err := run(dram.OpenRow, random)
-		if err != nil {
-			return Table{}, err
-		}
-		closeBW, err := run(dram.CloseRow, random)
-		if err != nil {
-			return Table{}, err
-		}
-		label := "sequential"
-		if random {
-			label = "random"
-		}
+	for i, label := range []string{"sequential", "random"} {
 		tab.Rows = append(tab.Rows, []string{
 			label,
-			fmt.Sprintf("%.1f GB/s", openBW),
-			fmt.Sprintf("%.1f GB/s", closeBW),
+			fmt.Sprintf("%.1f GB/s", bws[2*i]),
+			fmt.Sprintf("%.1f GB/s", bws[2*i+1]),
 		})
 	}
 	return tab, nil
@@ -204,8 +227,9 @@ func AblationRowPolicy() (Table, error) {
 
 // AblationConventionalMapping compares sequential-read bandwidth across
 // candidate conventional mappings, verifying the paper's choice of
-// row:rank:column:bank:channel (Sec. VI-A).
-func AblationConventionalMapping() (Table, error) {
+// row:rank:column:bank:channel (Sec. VI-A). Layouts measure as
+// independent sweep points.
+func (l *Lab) AblationConventionalMapping(ctx context.Context) (Table, error) {
 	spec := dram.JetsonOrinLPDDR5
 	layouts := []string{
 		"row:rank:column:bank:channel", // the paper's (channel bits at LSB)
@@ -222,10 +246,10 @@ func AblationConventionalMapping() (Table, error) {
 		},
 	}
 	tb := int64(spec.Geometry.TransferBytes)
-	for _, layout := range layouts {
+	rows, err := sweep(ctx, l, "ablation-convmap", layouts, func(ctx context.Context, layout string) ([]string, error) {
 		m, err := addr.FromLayout(spec.Geometry, layout)
 		if err != nil {
-			return Table{}, err
+			return nil, err
 		}
 		var reqs []*dram.Request
 		for i := int64(0); i < (8<<20)/tb; i++ {
@@ -234,14 +258,18 @@ func AblationConventionalMapping() (Table, error) {
 		}
 		res, err := dram.MeasureStream(spec, reqs)
 		if err != nil {
-			return Table{}, err
+			return nil, err
 		}
-		tab.Rows = append(tab.Rows, []string{
+		return []string{
 			layout,
 			fmt.Sprintf("%.1f GB/s", res.BandwidthGBs),
 			pc(res.BandwidthGBs / spec.PeakBandwidthGBs()),
-		})
+		}, nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	tab.Rows = rows
 	return tab, nil
 }
 
@@ -309,7 +337,7 @@ func AblationXORHashing() (Table, error) {
 // hurts kernels whose in-flight row coverage misaligns with the PU space —
 // and that the default (RowsPerPass-aligned) operating point matches the
 // paper's small measured slowdowns.
-func AblationGEMMStreams() (Table, error) {
+func (l *Lab) AblationGEMMStreams(ctx context.Context) (Table, error) {
 	p := soc.Jetson
 	op := soc.Linear{L: 16, In: 4096, Out: 4096, DTypeBytes: 2}
 	tab := Table{
@@ -319,24 +347,29 @@ func AblationGEMMStreams() (Table, error) {
 			"0 = auto (RowsPerPass-aligned tile, the default operating point)",
 		},
 	}
-	for _, streams := range []int{32, 128, 0, 512, 1024} {
+	rows, err := sweep(ctx, l, "ablation-streams", []int{32, 128, 0, 512, 1024}, func(ctx context.Context, streams int) ([]string, error) {
 		mem, _, err := soc.MeasureLayoutSlowdown(p, op, soc.LayoutSlowdownConfig{Streams: streams})
 		if err != nil {
-			return Table{}, err
+			return nil, err
 		}
 		label := strconv.Itoa(streams)
 		if streams == 0 {
 			label = "auto"
 		}
-		tab.Rows = append(tab.Rows, []string{label, pc(mem)})
+		return []string{label, pc(mem)}, nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	tab.Rows = rows
 	return tab, nil
 }
 
 // AblationMACInterval sweeps the PIM MAC cadence and reports the decode
 // speedup over the ideal NPU — documenting the calibration behind the
-// default of 6 burst cycles (paper Fig. 3 implies ~3.3x).
-func AblationMACInterval() (Table, error) {
+// default of 6 burst cycles (paper Fig. 3 implies ~3.3x). Each interval
+// builds its own (serial) lab, so intervals sweep independently.
+func (l *Lab) AblationMACInterval(ctx context.Context) (Table, error) {
 	tab := Table{
 		Title:  "Ablation: PIM MAC interval calibration (Jetson, Llama3-8B, 64+64 tokens)",
 		Header: []string{"MAC interval (burst cycles)", "internal BW", "PIM vs ideal NPU"},
@@ -344,21 +377,26 @@ func AblationMACInterval() (Table, error) {
 			"default interval 6 reproduces the paper's Fig. 3 ratio (3.32x)",
 		},
 	}
-	for _, interval := range []int{2, 4, 6, 8, 12} {
+	rows, err := sweep(ctx, l, "ablation-mac", []int{2, 4, 6, 8, 12}, func(ctx context.Context, interval int) ([]string, error) {
 		cfg := engine.DefaultConfig()
 		pimCfg := pim.DefaultAiM(soc.Jetson.Spec.Geometry)
 		pimCfg.MACIntervalCycles = interval
 		cfg.PIM = &pimCfg
 		lab := NewLab(cfg)
+		lab.SetParallelism(1)
 		r, err := lab.Fig3Compute()
 		if err != nil {
-			return Table{}, err
+			return nil, err
 		}
-		tab.Rows = append(tab.Rows, []string{
+		return []string{
 			strconv.Itoa(interval),
 			fmt.Sprintf("%.0f GB/s", pimCfg.InternalBandwidthGBs(soc.Jetson.Spec)),
 			x(r.SpeedupVsIdealNPU),
-		})
+		}, nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	tab.Rows = rows
 	return tab, nil
 }

@@ -5,12 +5,15 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 
 	"facil/internal/engine"
 	"facil/internal/llm"
+	"facil/internal/parallel"
 	"facil/internal/soc"
 )
 
@@ -75,29 +78,93 @@ func PlatformModel(p soc.Platform) llm.Model {
 	}
 }
 
+// ProgressFunc observes sweep progress: done of total points finished
+// for the named experiment. Calls are serialized per sweep but may come
+// from different experiments concurrently, so implementations must be
+// safe for concurrent use.
+type ProgressFunc func(experiment string, done, total int)
+
 // Lab caches one engine.System per platform so experiments share the
-// (expensive) simulation caches.
+// (expensive) simulation caches, and carries the sweep configuration
+// (worker bound, progress sink) every experiment runs under.
+//
+// A Lab is safe for concurrent use once configured: Run and the
+// experiment methods may be called from multiple goroutines, and each
+// ported experiment internally fans its points out over a bounded worker
+// pool. Configure SetParallelism/SetProgress before the first Run; they
+// are not synchronized against in-flight experiments.
 type Lab struct {
-	cfg     engine.Config
-	systems map[string]*engine.System
+	cfg      engine.Config
+	par      int
+	progress ProgressFunc
+
+	mu      sync.Mutex
+	systems map[string]*systemEntry
+}
+
+// systemEntry builds one platform's stack exactly once, allowing
+// concurrent callers of other platforms to build in parallel.
+type systemEntry struct {
+	once sync.Once
+	s    *engine.System
+	err  error
 }
 
 // NewLab builds an empty lab.
 func NewLab(cfg engine.Config) *Lab {
-	return &Lab{cfg: cfg, systems: make(map[string]*engine.System)}
+	return &Lab{cfg: cfg, systems: make(map[string]*systemEntry)}
 }
 
-// System returns (building on first use) the stack for a platform.
+// SetParallelism bounds the worker pool of every sweep the lab runs:
+// 1 forces serial execution, 0 (the default) selects GOMAXPROCS.
+// Results are byte-identical at any setting.
+func (l *Lab) SetParallelism(n int) { l.par = n }
+
+// Parallelism returns the configured worker bound (0 = GOMAXPROCS).
+func (l *Lab) Parallelism() int { return l.par }
+
+// SetProgress installs a progress observer for every sweep (nil disables).
+func (l *Lab) SetProgress(fn ProgressFunc) { l.progress = fn }
+
+// System returns (building on first use) the shared stack for a
+// platform. The returned System is goroutine-safe; sweep points of the
+// same platform share it and its memoization caches.
 func (l *Lab) System(p soc.Platform) (*engine.System, error) {
-	if s, ok := l.systems[p.Name]; ok {
-		return s, nil
+	l.mu.Lock()
+	e, ok := l.systems[p.Name]
+	if !ok {
+		e = &systemEntry{}
+		l.systems[p.Name] = e
 	}
-	s, err := engine.NewSystem(p, PlatformModel(p), l.cfg)
-	if err != nil {
-		return nil, err
+	l.mu.Unlock()
+	e.once.Do(func() {
+		e.s, e.err = engine.NewSystem(p, PlatformModel(p), l.cfg)
+	})
+	return e.s, e.err
+}
+
+// FreshSystem builds a new, unshared stack for a platform with the lab's
+// configuration. Use it when a sweep point needs exclusive ownership —
+// e.g. to mutate configuration — instead of the shared System instance.
+func (l *Lab) FreshSystem(p soc.Platform) (*engine.System, error) {
+	return engine.NewSystem(p, PlatformModel(p), l.cfg)
+}
+
+// sweepOpts assembles the parallel options for one experiment's sweep.
+func (l *Lab) sweepOpts(experiment string) []parallel.Option {
+	opts := []parallel.Option{parallel.Workers(l.par)}
+	if fn := l.progress; fn != nil {
+		opts = append(opts, parallel.Progress(func(done, total int) {
+			fn(experiment, done, total)
+		}))
 	}
-	l.systems[p.Name] = s
-	return s, nil
+	return opts
+}
+
+// sweep fans fn out over points with the lab's worker bound and progress
+// sink; results land by point index (byte-identical to a serial run).
+func sweep[P, R any](ctx context.Context, l *Lab, experiment string, points []P, fn func(ctx context.Context, point P) (R, error)) ([]R, error) {
+	return parallel.Sweep(ctx, points, fn, l.sweepOpts(experiment)...)
 }
 
 // newDetRand returns a deterministic PRNG for experiment inputs.

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -65,7 +66,7 @@ func TestFig6ReproducesShape(t *testing.T) {
 
 func TestFig13ReproducesPaperOrdering(t *testing.T) {
 	l := testLab()
-	rows, err := l.Fig13Compute()
+	rows, err := l.Fig13Compute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestFig13ReproducesPaperOrdering(t *testing.T) {
 
 func TestFig14Amortizes(t *testing.T) {
 	l := testLab()
-	cells, err := l.Fig14Compute(soc.Jetson)
+	cells, err := l.Fig14Compute(context.Background(), soc.Jetson)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestFig14Amortizes(t *testing.T) {
 func TestDatasetEvaluationShape(t *testing.T) {
 	l := testLab()
 	cfg := DatasetConfig{Queries: 30, Seed: 7}
-	res, err := l.EvalDataset(soc.Jetson, workload.AlpacaSpec(), cfg)
+	res, err := l.EvalDataset(context.Background(), soc.Jetson, workload.AlpacaSpec(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestDatasetEvaluationShape(t *testing.T) {
 func TestTable1ShapeAtSmallScale(t *testing.T) {
 	cfg := DefaultTable1Config()
 	cfg.Scale = 64 // 253 MB model in 1 GB memory: fast
-	cells, err := Table1Compute(cfg)
+	cells, err := testLab().Table1Compute(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,13 +221,13 @@ func TestRegistry(t *testing.T) {
 			t.Errorf("AllIDs entry %q not registered", id)
 		}
 	}
-	if _, err := testLab().Run("nope"); err == nil {
+	if _, err := testLab().Run(context.Background(), "nope"); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 	// Spot-run the cheap ones end to end.
 	l := testLab()
 	for _, id := range []string{"tab2", "maxmap", "fig2b"} {
-		tabs, err := l.Run(id)
+		tabs, err := l.Run(context.Background(), id)
 		if err != nil {
 			t.Errorf("Run(%q): %v", id, err)
 			continue

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -81,7 +82,7 @@ func TestEnergyExperiment(t *testing.T) {
 
 func TestServingExperiment(t *testing.T) {
 	l := testLab()
-	tab, err := l.Serving()
+	tab, err := l.Serving(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,13 +94,13 @@ func TestServingExperiment(t *testing.T) {
 
 func TestAblationTables(t *testing.T) {
 	l := testLab()
-	if tab, err := l.AblationDynamicThreshold(); err != nil || len(tab.Rows) != len(soc.All()) {
+	if tab, err := l.AblationDynamicThreshold(context.Background()); err != nil || len(tab.Rows) != len(soc.All()) {
 		t.Errorf("dynamic threshold ablation: %v, %d rows", err, len(tab.Rows))
 	}
-	if tab, err := AblationSchedulerWindow(); err != nil || len(tab.Rows) != 5 {
+	if tab, err := l.AblationSchedulerWindow(context.Background()); err != nil || len(tab.Rows) != 5 {
 		t.Errorf("scheduler window ablation: %v", err)
 	}
-	if tab, err := AblationConventionalMapping(); err != nil || len(tab.Rows) != 5 {
+	if tab, err := l.AblationConventionalMapping(context.Background()); err != nil || len(tab.Rows) != 5 {
 		t.Errorf("conventional mapping ablation: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"strconv"
 
 	"facil/internal/engine"
@@ -20,28 +21,46 @@ type Fig13Row struct {
 	Geomean  float64
 }
 
+// fig13Point is one (platform, prefill) cell of the sweep grid.
+type fig13Point struct {
+	platform soc.Platform
+	prefill  int
+}
+
 // Fig13Compute evaluates the single-query TTFT speedup of FACIL over the
 // SoC-PIM hybrid baseline on all four platforms (paper Fig. 13; both
-// designs run the prefill on the SoC in this study).
-func (l *Lab) Fig13Compute() ([]Fig13Row, error) {
-	var rows []Fig13Row
-	for _, p := range soc.All() {
-		s, err := l.System(p)
-		if err != nil {
-			return nil, err
-		}
-		row := Fig13Row{Platform: p.Name}
+// designs run the prefill on the SoC in this study). Points run on the
+// lab's worker pool; rows reduce in platform order.
+func (l *Lab) Fig13Compute(ctx context.Context) ([]Fig13Row, error) {
+	platforms := soc.All()
+	var points []fig13Point
+	for _, p := range platforms {
 		for _, pf := range Fig13Prefills {
-			base, err := s.TTFTStatic(engine.HybridStatic, pf)
-			if err != nil {
-				return nil, err
-			}
-			facil, err := s.TTFTStatic(engine.FACIL, pf)
-			if err != nil {
-				return nil, err
-			}
-			row.Speedups = append(row.Speedups, engine.Speedup(base, facil))
+			points = append(points, fig13Point{platform: p, prefill: pf})
 		}
+	}
+	speedups, err := sweep(ctx, l, "fig13", points, func(ctx context.Context, pt fig13Point) (float64, error) {
+		s, err := l.System(pt.platform)
+		if err != nil {
+			return 0, err
+		}
+		base, err := s.TTFTStatic(engine.HybridStatic, pt.prefill)
+		if err != nil {
+			return 0, err
+		}
+		facil, err := s.TTFTStatic(engine.FACIL, pt.prefill)
+		if err != nil {
+			return 0, err
+		}
+		return engine.Speedup(base, facil), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig13Row
+	for pi, p := range platforms {
+		row := Fig13Row{Platform: p.Name}
+		row.Speedups = append(row.Speedups, speedups[pi*len(Fig13Prefills):(pi+1)*len(Fig13Prefills)]...)
 		row.Geomean = stats.Geomean(row.Speedups)
 		rows = append(rows, row)
 	}
@@ -49,8 +68,8 @@ func (l *Lab) Fig13Compute() ([]Fig13Row, error) {
 }
 
 // Fig13 renders the speedup table.
-func (l *Lab) Fig13() (Table, error) {
-	rows, err := l.Fig13Compute()
+func (l *Lab) Fig13(ctx context.Context) (Table, error) {
+	rows, err := l.Fig13Compute(ctx)
 	if err != nil {
 		return Table{}, err
 	}

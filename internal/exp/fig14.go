@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 
@@ -21,37 +22,40 @@ type Fig14Cell struct {
 
 // Fig14Compute evaluates the single-query TTLT speedup of FACIL over the
 // SoC-PIM hybrid baseline across prefill-to-decode combinations (paper
-// Fig. 14).
-func (l *Lab) Fig14Compute(platform soc.Platform) ([]Fig14Cell, error) {
+// Fig. 14). The grid points run on the lab's worker pool; cells return
+// in (prefill, decode) order regardless of completion order.
+func (l *Lab) Fig14Compute(ctx context.Context, platform soc.Platform) ([]Fig14Cell, error) {
 	s, err := l.System(platform)
 	if err != nil {
 		return nil, err
 	}
-	var cells []Fig14Cell
+	var points [][2]int
 	for _, pf := range Fig14Lengths {
 		for _, dec := range Fig14Lengths {
-			base, err := s.TTLTStatic(engine.HybridStatic, pf, dec)
-			if err != nil {
-				return nil, err
-			}
-			facil, err := s.TTLTStatic(engine.FACIL, pf, dec)
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, Fig14Cell{
-				Platform: platform.Name,
-				Prefill:  pf,
-				Decode:   dec,
-				Speedup:  engine.Speedup(base, facil),
-			})
+			points = append(points, [2]int{pf, dec})
 		}
 	}
-	return cells, nil
+	return sweep(ctx, l, "fig14", points, func(ctx context.Context, pd [2]int) (Fig14Cell, error) {
+		base, err := s.TTLTStatic(engine.HybridStatic, pd[0], pd[1])
+		if err != nil {
+			return Fig14Cell{}, err
+		}
+		facil, err := s.TTLTStatic(engine.FACIL, pd[0], pd[1])
+		if err != nil {
+			return Fig14Cell{}, err
+		}
+		return Fig14Cell{
+			Platform: platform.Name,
+			Prefill:  pd[0],
+			Decode:   pd[1],
+			Speedup:  engine.Speedup(base, facil),
+		}, nil
+	})
 }
 
 // Fig14 renders one platform's grid (rows: prefill, columns: decode).
-func (l *Lab) Fig14(platform soc.Platform) (Table, error) {
-	cells, err := l.Fig14Compute(platform)
+func (l *Lab) Fig14(ctx context.Context, platform soc.Platform) (Table, error) {
+	cells, err := l.Fig14Compute(ctx, platform)
 	if err != nil {
 		return Table{}, err
 	}

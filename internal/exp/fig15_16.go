@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"facil/internal/engine"
@@ -43,13 +44,57 @@ func DefaultDatasetConfig() DatasetConfig {
 	return DatasetConfig{Queries: 150, Seed: 2024}
 }
 
+// queryRatios is one query's speedup measurements (the per-point result
+// of the dataset sweep).
+type queryRatios struct {
+	ttft         []float64 // keyed like DatasetKinds
+	ttlt         []float64
+	facilOverSoC float64
+}
+
 // EvalDataset runs every design over a sampled dataset on one platform.
-func (l *Lab) EvalDataset(p soc.Platform, spec workload.Spec, cfg DatasetConfig) (DatasetResult, error) {
+// The dataset is generated deterministically up front; queries then run
+// as independent sweep points and the geomeans reduce in query order, so
+// results match a serial evaluation exactly.
+func (l *Lab) EvalDataset(ctx context.Context, p soc.Platform, spec workload.Spec, cfg DatasetConfig) (DatasetResult, error) {
 	s, err := l.System(p)
 	if err != nil {
 		return DatasetResult{}, err
 	}
 	ds, err := workload.Generate(spec, cfg.Queries, cfg.Seed)
+	if err != nil {
+		return DatasetResult{}, err
+	}
+	perQuery, err := sweep(ctx, l, "dataset "+spec.Name, ds.Queries, func(ctx context.Context, q workload.Query) (queryRatios, error) {
+		baseTTFT, err := s.TTFT(engine.HybridStatic, q.Prefill)
+		if err != nil {
+			return queryRatios{}, err
+		}
+		baseTTLT, err := s.TTLT(engine.HybridStatic, q.Prefill, q.Decode)
+		if err != nil {
+			return queryRatios{}, err
+		}
+		r := queryRatios{
+			ttft: make([]float64, len(DatasetKinds)),
+			ttlt: make([]float64, len(DatasetKinds)),
+		}
+		perKindTTLT := make(map[engine.Kind]float64)
+		for ki, k := range DatasetKinds {
+			ttft, err := s.TTFT(k, q.Prefill)
+			if err != nil {
+				return queryRatios{}, err
+			}
+			ttlt, err := s.TTLT(k, q.Prefill, q.Decode)
+			if err != nil {
+				return queryRatios{}, err
+			}
+			perKindTTLT[k] = ttlt
+			r.ttft[ki] = engine.Speedup(baseTTFT, ttft)
+			r.ttlt[ki] = engine.Speedup(baseTTLT, ttlt)
+		}
+		r.facilOverSoC = engine.Speedup(perKindTTLT[engine.SoCOnly], perKindTTLT[engine.FACIL])
+		return r, nil
+	})
 	if err != nil {
 		return DatasetResult{}, err
 	}
@@ -62,31 +107,12 @@ func (l *Lab) EvalDataset(p soc.Platform, spec workload.Spec, cfg DatasetConfig)
 	ttftRatios := make(map[engine.Kind][]float64)
 	ttltRatios := make(map[engine.Kind][]float64)
 	var facilOverSoC []float64
-	for _, q := range ds.Queries {
-		baseTTFT, err := s.TTFT(engine.HybridStatic, q.Prefill)
-		if err != nil {
-			return DatasetResult{}, err
+	for _, r := range perQuery {
+		for ki, k := range DatasetKinds {
+			ttftRatios[k] = append(ttftRatios[k], r.ttft[ki])
+			ttltRatios[k] = append(ttltRatios[k], r.ttlt[ki])
 		}
-		baseTTLT, err := s.TTLT(engine.HybridStatic, q.Prefill, q.Decode)
-		if err != nil {
-			return DatasetResult{}, err
-		}
-		perKindTTLT := make(map[engine.Kind]float64)
-		for _, k := range DatasetKinds {
-			ttft, err := s.TTFT(k, q.Prefill)
-			if err != nil {
-				return DatasetResult{}, err
-			}
-			ttlt, err := s.TTLT(k, q.Prefill, q.Decode)
-			if err != nil {
-				return DatasetResult{}, err
-			}
-			perKindTTLT[k] = ttlt
-			ttftRatios[k] = append(ttftRatios[k], engine.Speedup(baseTTFT, ttft))
-			ttltRatios[k] = append(ttltRatios[k], engine.Speedup(baseTTLT, ttlt))
-		}
-		facilOverSoC = append(facilOverSoC,
-			engine.Speedup(perKindTTLT[engine.SoCOnly], perKindTTLT[engine.FACIL]))
+		facilOverSoC = append(facilOverSoC, r.facilOverSoC)
 	}
 	for _, k := range DatasetKinds {
 		res.TTFTSpeedup[k] = stats.Geomean(ttftRatios[k])
@@ -97,7 +123,9 @@ func (l *Lab) EvalDataset(p soc.Platform, spec workload.Spec, cfg DatasetConfig)
 }
 
 // datasetTable renders either the TTFT (Fig. 15) or TTLT (Fig. 16) view.
-func (l *Lab) datasetTable(spec workload.Spec, cfg DatasetConfig, ttft bool, title, note string) (Table, error) {
+// Platforms evaluate as sweep points of their own (each fanning out its
+// queries), with rows reducing in platform order.
+func (l *Lab) datasetTable(ctx context.Context, spec workload.Spec, cfg DatasetConfig, ttft bool, title, note string) (Table, error) {
 	tab := Table{
 		Title:  title,
 		Header: []string{"platform"},
@@ -106,12 +134,14 @@ func (l *Lab) datasetTable(spec workload.Spec, cfg DatasetConfig, ttft bool, tit
 	for _, k := range DatasetKinds {
 		tab.Header = append(tab.Header, k.String())
 	}
-	for _, p := range soc.All() {
-		res, err := l.EvalDataset(p, spec, cfg)
-		if err != nil {
-			return Table{}, err
-		}
-		row := []string{p.Name}
+	results, err := sweep(ctx, l, "dataset platforms", soc.All(), func(ctx context.Context, p soc.Platform) (DatasetResult, error) {
+		return l.EvalDataset(ctx, p, spec, cfg)
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	for _, res := range results {
+		row := []string{res.Platform}
 		for _, k := range DatasetKinds {
 			v := res.TTFTSpeedup[k]
 			if !ttft {
@@ -129,15 +159,15 @@ func (l *Lab) datasetTable(spec workload.Spec, cfg DatasetConfig, ttft bool, tit
 }
 
 // Fig15 renders the dataset TTFT comparison (speedup over hybrid static).
-func (l *Lab) Fig15(spec workload.Spec, cfg DatasetConfig) (Table, error) {
-	return l.datasetTable(spec, cfg, true,
+func (l *Lab) Fig15(ctx context.Context, spec workload.Spec, cfg DatasetConfig) (Table, error) {
+	return l.datasetTable(ctx, spec, cfg, true,
 		fmt.Sprintf("Fig. 15: normalized TTFT speedup on %s", spec.Name),
 		"paper geomeans: FACIL 2.37x (Alpaca), 2.63x (code autocompletion) over hybrid static")
 }
 
 // Fig16 renders the dataset TTLT comparison.
-func (l *Lab) Fig16(spec workload.Spec, cfg DatasetConfig) (Table, error) {
-	return l.datasetTable(spec, cfg, false,
+func (l *Lab) Fig16(ctx context.Context, spec workload.Spec, cfg DatasetConfig) (Table, error) {
+	return l.datasetTable(ctx, spec, cfg, false,
 		fmt.Sprintf("Fig. 16: normalized TTLT speedup on %s", spec.Name),
 		"paper: FACIL TTLT 1.20x over hybrid static; 3.55x/3.58x over SoC-only")
 }

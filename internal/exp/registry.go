@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -9,13 +10,14 @@ import (
 )
 
 // Run executes an experiment by its DESIGN.md identifier and returns the
-// rendered tables. "all" runs every experiment.
-func (l *Lab) Run(id string) ([]Table, error) {
+// rendered tables. Ported experiments fan their sweep points out over the
+// lab's worker pool and honor ctx cancellation between points.
+func (l *Lab) Run(ctx context.Context, id string) ([]Table, error) {
 	runner, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("exp: unknown experiment %q (known: %v)", id, IDs())
 	}
-	return runner(l)
+	return runner(ctx, l)
 }
 
 // IDs lists the registered experiment identifiers.
@@ -28,11 +30,27 @@ func IDs() []string {
 	return ids
 }
 
-type runner func(l *Lab) ([]Table, error)
+// runner produces one experiment's tables under a cancellation context.
+type runner func(ctx context.Context, l *Lab) ([]Table, error)
 
+// one adapts a serial (context-free) single-table experiment.
 func one(f func(l *Lab) (Table, error)) runner {
-	return func(l *Lab) ([]Table, error) {
+	return func(ctx context.Context, l *Lab) ([]Table, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		t, err := f(l)
+		if err != nil {
+			return nil, err
+		}
+		return []Table{t}, nil
+	}
+}
+
+// onectx adapts a ctx-aware single-table experiment.
+func onectx(f func(l *Lab, ctx context.Context) (Table, error)) runner {
+	return func(ctx context.Context, l *Lab) ([]Table, error) {
+		t, err := f(l, ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -45,133 +63,83 @@ var registry = map[string]runner{
 	"fig2b": one((*Lab).Fig2b),
 	"fig3":  one((*Lab).Fig3),
 	"fig6":  one((*Lab).Fig6),
-	"tab1": func(l *Lab) ([]Table, error) {
-		t, err := Table1(DefaultTable1Config())
-		if err != nil {
-			return nil, err
-		}
-		return []Table{t}, nil
-	},
-	"tab2": func(l *Lab) ([]Table, error) {
+	"tab1": onectx(func(l *Lab, ctx context.Context) (Table, error) {
+		return l.Table1(ctx, DefaultTable1Config())
+	}),
+	"tab2": func(ctx context.Context, l *Lab) ([]Table, error) {
 		return []Table{Table2()}, nil
 	},
-	"tab3": func(l *Lab) ([]Table, error) {
-		t, err := Table3(soc.LayoutSlowdownConfig{})
-		if err != nil {
-			return nil, err
-		}
-		return []Table{t}, nil
+	"tab3": onectx(func(l *Lab, ctx context.Context) (Table, error) {
+		return l.Table3(ctx, soc.LayoutSlowdownConfig{})
+	}),
+	"fig13": onectx((*Lab).Fig13),
+	"fig14": func(ctx context.Context, l *Lab) ([]Table, error) {
+		return sweep(ctx, l, "fig14 platforms", soc.All(), func(ctx context.Context, p soc.Platform) (Table, error) {
+			return l.Fig14(ctx, p)
+		})
 	},
-	"fig13": one((*Lab).Fig13),
-	"fig14": func(l *Lab) ([]Table, error) {
-		var out []Table
-		for _, p := range soc.All() {
-			t, err := l.Fig14(p)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, t)
-		}
-		return out, nil
+	"fig15": func(ctx context.Context, l *Lab) ([]Table, error) {
+		return l.datasetPair(ctx, (*Lab).Fig15)
 	},
-	"fig15": func(l *Lab) ([]Table, error) {
-		return l.datasetPair((*Lab).Fig15)
+	"fig16": func(ctx context.Context, l *Lab) ([]Table, error) {
+		return l.datasetPair(ctx, (*Lab).Fig16)
 	},
-	"fig16": func(l *Lab) ([]Table, error) {
-		return l.datasetPair((*Lab).Fig16)
-	},
-	"cosched": func(l *Lab) ([]Table, error) {
+	"cosched": func(ctx context.Context, l *Lab) ([]Table, error) {
 		t, err := Cosched()
 		if err != nil {
 			return nil, err
 		}
 		return []Table{t}, nil
 	},
-	"quant": func(l *Lab) ([]Table, error) {
+	"quant": func(ctx context.Context, l *Lab) ([]Table, error) {
 		t, err := Quant()
 		if err != nil {
 			return nil, err
 		}
 		return []Table{t}, nil
 	},
-	"pimstyle": func(l *Lab) ([]Table, error) {
+	"pimstyle": func(ctx context.Context, l *Lab) ([]Table, error) {
 		t, err := PIMStyle()
 		if err != nil {
 			return nil, err
 		}
 		return []Table{t}, nil
 	},
-	"energy": func(l *Lab) ([]Table, error) {
-		t, err := l.Energy()
-		if err != nil {
-			return nil, err
-		}
-		return []Table{t}, nil
-	},
-	"serving": func(l *Lab) ([]Table, error) {
-		t, err := l.Serving()
-		if err != nil {
-			return nil, err
-		}
-		return []Table{t}, nil
-	},
-	"maxmap": func(l *Lab) ([]Table, error) {
+	"energy": one((*Lab).Energy),
+	"serving": onectx(func(l *Lab, ctx context.Context) (Table, error) {
+		return l.Serving(ctx)
+	}),
+	"maxmap": func(ctx context.Context, l *Lab) ([]Table, error) {
 		t, err := MaxMapID()
 		if err != nil {
 			return nil, err
 		}
 		return []Table{t}, nil
 	},
-	"ablations": func(l *Lab) ([]Table, error) {
-		var out []Table
-		t, err := l.AblationRelayoutPolicy()
-		if err != nil {
-			return nil, err
+	// The eight ablation studies run as sweep points of their own (each
+	// internally fanning out further), reducing in the fixed table order.
+	"ablations": func(ctx context.Context, l *Lab) ([]Table, error) {
+		studies := []func(context.Context) (Table, error){
+			func(ctx context.Context) (Table, error) { return l.AblationRelayoutPolicy() },
+			l.AblationDynamicThreshold,
+			l.AblationSchedulerWindow,
+			l.AblationRowPolicy,
+			l.AblationConventionalMapping,
+			func(ctx context.Context) (Table, error) { return AblationXORHashing() },
+			l.AblationGEMMStreams,
+			l.AblationMACInterval,
 		}
-		out = append(out, t)
-		t, err = l.AblationDynamicThreshold()
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, t)
-		t, err = AblationSchedulerWindow()
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, t)
-		t, err = AblationRowPolicy()
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, t)
-		t, err = AblationConventionalMapping()
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, t)
-		t, err = AblationXORHashing()
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, t)
-		t, err = AblationGEMMStreams()
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, t)
-		t, err = AblationMACInterval()
-		if err != nil {
-			return nil, err
-		}
-		return append(out, t), nil
+		return sweep(ctx, l, "ablations", studies, func(ctx context.Context, f func(context.Context) (Table, error)) (Table, error) {
+			return f(ctx)
+		})
 	},
 }
 
 // datasetPair evaluates a figure over both paper datasets.
-func (l *Lab) datasetPair(f func(*Lab, workload.Spec, DatasetConfig) (Table, error)) ([]Table, error) {
+func (l *Lab) datasetPair(ctx context.Context, f func(*Lab, context.Context, workload.Spec, DatasetConfig) (Table, error)) ([]Table, error) {
 	var out []Table
 	for _, spec := range []workload.Spec{workload.AlpacaSpec(), workload.AutocompleteSpec()} {
-		t, err := f(l, spec, DefaultDatasetConfig())
+		t, err := f(l, ctx, spec, DefaultDatasetConfig())
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -14,7 +15,7 @@ import (
 func TestRenderFig2aFig3Fig6(t *testing.T) {
 	l := testLab()
 	for _, id := range []string{"fig2a", "fig3", "fig6"} {
-		tabs, err := l.Run(id)
+		tabs, err := l.Run(context.Background(), id)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
@@ -27,14 +28,14 @@ func TestRenderFig2aFig3Fig6(t *testing.T) {
 
 func TestRenderFig13Fig14(t *testing.T) {
 	l := testLab()
-	tab, err := l.Fig13()
+	tab, err := l.Fig13(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(tab.Rows) != 4 || !strings.Contains(tab.Header[1], "P8") {
 		t.Errorf("fig13 table malformed: %v", tab.Header)
 	}
-	tab, err = l.Fig14(soc.IPhone)
+	tab, err = l.Fig14(context.Background(), soc.IPhone)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,14 +47,14 @@ func TestRenderFig13Fig14(t *testing.T) {
 func TestRenderFig15Fig16Small(t *testing.T) {
 	l := testLab()
 	cfg := DatasetConfig{Queries: 10, Seed: 3}
-	tab, err := l.Fig15(workload.AlpacaSpec(), cfg)
+	tab, err := l.Fig15(context.Background(), workload.AlpacaSpec(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(tab.Rows) != 4 {
 		t.Errorf("fig15 rows = %d", len(tab.Rows))
 	}
-	tab, err = l.Fig16(workload.AlpacaSpec(), cfg)
+	tab, err = l.Fig16(context.Background(), workload.AlpacaSpec(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestRenderFig15Fig16Small(t *testing.T) {
 func TestRenderTable1Small(t *testing.T) {
 	cfg := DefaultTable1Config()
 	cfg.Scale = 64
-	tab, err := Table1(cfg)
+	tab, err := testLab().Table1(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

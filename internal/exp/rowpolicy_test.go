@@ -1,9 +1,12 @@
 package exp
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestAblationRowPolicyShape(t *testing.T) {
-	tab, err := AblationRowPolicy()
+	tab, err := testLab().AblationRowPolicy(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"facil/internal/engine"
@@ -13,8 +14,9 @@ import (
 // over time and wait FCFS for the device, so designs with longer TTLT run
 // closer to saturation at the same offered rate and their *perceived*
 // TTFT degrades super-linearly. Not a paper figure — an extension showing
-// how FACIL's latency advantage compounds in a serving setting.
-func (l *Lab) Serving() (Table, error) {
+// how FACIL's latency advantage compounds in a serving setting. Arrival
+// rates evaluate as independent sweep points, each comparing all designs.
+func (l *Lab) Serving(ctx context.Context) (Table, error) {
 	s, err := l.System(soc.Jetson)
 	if err != nil {
 		return Table{}, err
@@ -30,20 +32,23 @@ func (l *Lab) Serving() (Table, error) {
 			"perceived TTFT = queueing wait + TTFT; FCFS single device, 150 queries",
 		},
 	}
-	for _, rate := range []float64{0.1, 0.3, 0.45} {
+	rates := []float64{0.1, 0.3, 0.45}
+	perRate, err := sweep(ctx, l, "serving", rates, func(ctx context.Context, rate float64) ([]serve.Summary, error) {
 		cfg := serve.Config{
 			ArrivalRate: rate,
 			Queries:     150,
 			Workload:    workload.AlpacaSpec(),
 			Seed:        11,
 		}
-		sums, err := serve.Compare(s, kinds, cfg)
-		if err != nil {
-			return Table{}, err
-		}
+		return serve.Compare(ctx, s, kinds, cfg, l.sweepOpts("serving compare")...)
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	for ri, sums := range perRate {
 		for _, sum := range sums {
 			tab.Rows = append(tab.Rows, []string{
-				fmt.Sprintf("%.2f q/s", rate),
+				fmt.Sprintf("%.2f q/s", rates[ri]),
 				sum.Kind.String(),
 				ms(sum.PerceivedTTFTMean),
 				ms(sum.PerceivedTTFTP99),

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"facil/internal/vm"
@@ -42,39 +43,49 @@ var (
 	Table1FreeRels  = []float64{2.5, 2.0, 1.5, 1.1}
 )
 
-// Table1Compute runs the grid of Table I.
-func Table1Compute(cfg Table1Config) ([]Table1Cell, error) {
+// table1Point is one (FMFI band, free-memory ratio) grid cell.
+type table1Point struct {
+	band [2]float64
+	rel  float64
+}
+
+// Table1Compute runs the grid of Table I. Each cell simulates an
+// independent model load (own seed-derived PRNG), so cells fan out over
+// the lab's worker pool and reduce in grid order.
+func (l *Lab) Table1Compute(ctx context.Context, cfg Table1Config) ([]Table1Cell, error) {
 	if cfg.Scale <= 0 {
 		cfg.Scale = 1
 	}
 	model := cfg.ModelBytes / cfg.Scale
 	total := cfg.TotalBytes / cfg.Scale
-	var cells []Table1Cell
+	var points []table1Point
 	for _, band := range Table1FMFIBands {
-		scatter := (band[0] + band[1]) / 2
 		for _, rel := range Table1FreeRels {
-			res, err := vm.SimulateModelLoad(model, total, rel, scatter, cfg.Load, cfg.Seed)
-			if err != nil {
-				return nil, fmt.Errorf("exp: table1 FMFI %.1f-%.1f x%.1f: %w",
-					band[0], band[1], rel, err)
-			}
-			// Scale absolute times back to the paper's model size.
-			res.Seconds *= float64(cfg.Scale)
-			res.BaselineSeconds *= float64(cfg.Scale)
-			cells = append(cells, Table1Cell{
-				FMFILow: band[0], FMFIHigh: band[1],
-				FreeRel: rel,
-				Result:  res,
-			})
+			points = append(points, table1Point{band: band, rel: rel})
 		}
 	}
-	return cells, nil
+	return sweep(ctx, l, "tab1", points, func(ctx context.Context, pt table1Point) (Table1Cell, error) {
+		scatter := (pt.band[0] + pt.band[1]) / 2
+		res, err := vm.SimulateModelLoad(model, total, pt.rel, scatter, cfg.Load, cfg.Seed)
+		if err != nil {
+			return Table1Cell{}, fmt.Errorf("exp: table1 FMFI %.1f-%.1f x%.1f: %w",
+				pt.band[0], pt.band[1], pt.rel, err)
+		}
+		// Scale absolute times back to the paper's model size.
+		res.Seconds *= float64(cfg.Scale)
+		res.BaselineSeconds *= float64(cfg.Scale)
+		return Table1Cell{
+			FMFILow: pt.band[0], FMFIHigh: pt.band[1],
+			FreeRel: pt.rel,
+			Result:  res,
+		}, nil
+	})
 }
 
 // Table1 renders the grid in the paper's layout: rows are FMFI bands,
 // columns are free-memory ratios, cells are "load time (normalized)".
-func Table1(cfg Table1Config) (Table, error) {
-	cells, err := Table1Compute(cfg)
+func (l *Lab) Table1(ctx context.Context, cfg Table1Config) (Table, error) {
+	cells, err := l.Table1Compute(ctx, cfg)
 	if err != nil {
 		return Table{}, err
 	}

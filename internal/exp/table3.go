@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"facil/internal/soc"
@@ -18,12 +19,18 @@ type Table3Row struct {
 	OpSlowdown  float64
 }
 
-// Table3Compute measures the GEMM slowdown on the PIM-optimized layout
-// for every platform's layer shapes at prefill lengths {4, 16, 64},
-// replacing the paper's GPGPU-Sim/ONNXim experiments with the in-repo
-// DRAM-contention model.
-func Table3Compute(cfg soc.LayoutSlowdownConfig) ([]Table3Row, error) {
-	var rows []Table3Row
+// table3Point is one (platform, layer shape, prefill) measurement.
+type table3Point struct {
+	platform soc.Platform
+	layer    string
+	in, out  int
+	dtype    int
+	prefill  int
+}
+
+// table3Points enumerates the measurement grid in render order.
+func table3Points() []table3Point {
+	var points []table3Point
 	for _, p := range soc.All() {
 		m := PlatformModel(p)
 		type layer struct {
@@ -45,27 +52,45 @@ func Table3Compute(cfg soc.LayoutSlowdownConfig) ([]Table3Row, error) {
 		)
 		for _, ly := range layers {
 			for _, pf := range []int{4, 16, 64} {
-				op := soc.Linear{L: pf, In: ly.in, Out: ly.out, DTypeBytes: m.DTypeBytes}
-				mem, opS, err := soc.MeasureLayoutSlowdown(p, op, cfg)
-				if err != nil {
-					return nil, fmt.Errorf("exp: table3 %s %s P%d: %w", p.Name, ly.name, pf, err)
-				}
-				rows = append(rows, Table3Row{
-					Platform:    p.Name,
-					Layer:       ly.name,
-					Prefill:     pf,
-					MemSlowdown: mem,
-					OpSlowdown:  opS,
+				points = append(points, table3Point{
+					platform: p,
+					layer:    ly.name,
+					in:       ly.in,
+					out:      ly.out,
+					dtype:    m.DTypeBytes,
+					prefill:  pf,
 				})
 			}
 		}
 	}
-	return rows, nil
+	return points
+}
+
+// Table3Compute measures the GEMM slowdown on the PIM-optimized layout
+// for every platform's layer shapes at prefill lengths {4, 16, 64},
+// replacing the paper's GPGPU-Sim/ONNXim experiments with the in-repo
+// DRAM-contention model. Every (platform, layer, prefill) measurement is
+// an independent sweep point.
+func (l *Lab) Table3Compute(ctx context.Context, cfg soc.LayoutSlowdownConfig) ([]Table3Row, error) {
+	return sweep(ctx, l, "tab3", table3Points(), func(ctx context.Context, pt table3Point) (Table3Row, error) {
+		op := soc.Linear{L: pt.prefill, In: pt.in, Out: pt.out, DTypeBytes: pt.dtype}
+		mem, opS, err := soc.MeasureLayoutSlowdown(pt.platform, op, cfg)
+		if err != nil {
+			return Table3Row{}, fmt.Errorf("exp: table3 %s %s P%d: %w", pt.platform.Name, pt.layer, pt.prefill, err)
+		}
+		return Table3Row{
+			Platform:    pt.platform.Name,
+			Layer:       pt.layer,
+			Prefill:     pt.prefill,
+			MemSlowdown: mem,
+			OpSlowdown:  opS,
+		}, nil
+	})
 }
 
 // Table3 renders the slowdown grid.
-func Table3(cfg soc.LayoutSlowdownConfig) (Table, error) {
-	rows, err := Table3Compute(cfg)
+func (l *Lab) Table3(ctx context.Context, cfg soc.LayoutSlowdownConfig) (Table, error) {
+	rows, err := l.Table3Compute(ctx, cfg)
 	if err != nil {
 		return Table{}, err
 	}

@@ -1,0 +1,63 @@
+package parallel
+
+import "sync"
+
+// Flight is a concurrency-safe memoization cache with in-flight
+// deduplication: concurrent Do calls for the same key run the compute
+// function exactly once and share its result, instead of redundantly
+// recomputing it on every cache-missing goroutine. This matters for the
+// sweep workers, which hit the simulation caches cold in a storm — with
+// a plain locked map each worker would duplicate the expensive compute
+// before the first store lands.
+//
+// Successful results are cached forever; errors are returned to every
+// waiter of that flight but not cached, so a later Do retries. The zero
+// Flight is ready to use. fn runs outside the lock and must not call Do
+// on the same Flight with the same key (it would deadlock on itself).
+type Flight[K comparable, V any] struct {
+	mu       sync.Mutex
+	done     map[K]V
+	inflight map[K]*flightCall[V]
+}
+
+// flightCall tracks one in-flight computation.
+type flightCall[V any] struct {
+	wg  sync.WaitGroup
+	v   V
+	err error
+}
+
+// Do returns the cached value for key, waiting for an in-flight
+// computation of the same key if one is running, and otherwise computing
+// it via fn.
+func (f *Flight[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	f.mu.Lock()
+	if f.done == nil {
+		f.done = make(map[K]V)
+		f.inflight = make(map[K]*flightCall[V])
+	}
+	if v, ok := f.done[key]; ok {
+		f.mu.Unlock()
+		return v, nil
+	}
+	if c, ok := f.inflight[key]; ok {
+		f.mu.Unlock()
+		c.wg.Wait()
+		return c.v, c.err
+	}
+	c := &flightCall[V]{}
+	c.wg.Add(1)
+	f.inflight[key] = c
+	f.mu.Unlock()
+
+	c.v, c.err = fn()
+
+	f.mu.Lock()
+	if c.err == nil {
+		f.done[key] = c.v
+	}
+	delete(f.inflight, key)
+	f.mu.Unlock()
+	c.wg.Done()
+	return c.v, c.err
+}

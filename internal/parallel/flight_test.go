@@ -1,0 +1,89 @@
+package parallel
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestFlightDeduplicatesConcurrentMisses is the singleflight contract:
+// many goroutines missing on the same key run the compute function once
+// and all observe its result.
+func TestFlightDeduplicatesConcurrentMisses(t *testing.T) {
+	var f Flight[string, int]
+	var calls atomic.Int64
+	release := make(chan struct{})
+
+	const waiters = 16
+	var wg sync.WaitGroup
+	results := make([]int, waiters)
+	errs := make([]error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = f.Do("k", func() (int, error) {
+				calls.Add(1)
+				<-release // hold the flight open so every waiter joins it
+				return 42, nil
+			})
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+
+	if n := calls.Load(); n != 1 {
+		t.Errorf("compute function ran %d times, want 1", n)
+	}
+	for i := 0; i < waiters; i++ {
+		if errs[i] != nil || results[i] != 42 {
+			t.Errorf("waiter %d: got (%d, %v), want (42, nil)", i, results[i], errs[i])
+		}
+	}
+}
+
+// TestFlightCachesSuccess verifies a second Do on a completed key returns
+// the stored value without re-running fn.
+func TestFlightCachesSuccess(t *testing.T) {
+	var f Flight[int, string]
+	calls := 0
+	for i := 0; i < 3; i++ {
+		v, err := f.Do(7, func() (string, error) {
+			calls++
+			return "seven", nil
+		})
+		if err != nil || v != "seven" {
+			t.Fatalf("Do #%d = (%q, %v), want (seven, nil)", i, v, err)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("compute function ran %d times, want 1", calls)
+	}
+}
+
+// TestFlightDoesNotCacheErrors verifies a failed flight is retried: the
+// error reaches the caller, but a later Do computes again and can succeed.
+func TestFlightDoesNotCacheErrors(t *testing.T) {
+	var f Flight[string, int]
+	boom := errors.New("boom")
+	if _, err := f.Do("k", func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("first Do err = %v, want boom", err)
+	}
+	v, err := f.Do("k", func() (int, error) { return 9, nil })
+	if err != nil || v != 9 {
+		t.Fatalf("retry Do = (%d, %v), want (9, nil)", v, err)
+	}
+}
+
+// TestFlightIndependentKeys verifies distinct keys do not share flights
+// or cached values.
+func TestFlightIndependentKeys(t *testing.T) {
+	var f Flight[int, int]
+	for k := 0; k < 5; k++ {
+		v, err := f.Do(k, func() (int, error) { return k * k, nil })
+		if err != nil || v != k*k {
+			t.Fatalf("Do(%d) = (%d, %v), want (%d, nil)", k, v, err, k*k)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"facil/internal/dram"
 	"facil/internal/mapping"
+	"facil/internal/parallel"
 )
 
 // GEMVResult reports one simulated GEMV execution.
@@ -32,11 +33,17 @@ type GEMVResult struct {
 // Device simulates GEMV offload onto a PIM-enabled memory system. GEMV
 // timings are cached per matrix shape: the schedule depends only on the
 // placement, not on values.
+//
+// A Device is safe for concurrent use: the configuration is immutable
+// after NewDevice and the shape cache is internally synchronized with
+// in-flight deduplication, so concurrent misses on the same shape
+// simulate the schedule exactly once and share the result.
 type Device struct {
 	spec dram.Spec
 	cfg  Config
 	mem  mapping.MemoryConfig
-	cach map[mapping.MatrixConfig]GEMVResult
+
+	cach parallel.Flight[mapping.MatrixConfig, GEMVResult]
 }
 
 // NewDevice validates the configuration and builds a device.
@@ -51,7 +58,6 @@ func NewDevice(spec dram.Spec, cfg Config) (*Device, error) {
 		spec: spec,
 		cfg:  cfg,
 		mem:  mapping.MemoryConfig{Geometry: spec.Geometry, HugePageBytes: 2 << 20},
-		cach: make(map[mapping.MatrixConfig]GEMVResult),
 	}, nil
 }
 
@@ -75,9 +81,13 @@ func (d *Device) Config() Config { return d.cfg }
 // Channels execute identical lock-step schedules, so a single channel is
 // simulated and its completion time is the device's.
 func (d *Device) GEMV(matrix mapping.MatrixConfig) (GEMVResult, error) {
-	if r, ok := d.cach[matrix]; ok {
-		return r, nil
-	}
+	return d.cach.Do(matrix, func() (GEMVResult, error) {
+		return d.gemv(matrix)
+	})
+}
+
+// gemv simulates one GEMV schedule; GEMV memoizes it per shape.
+func (d *Device) gemv(matrix mapping.MatrixConfig) (GEMVResult, error) {
 	sel, err := mapping.SelectMapping(matrix, d.mem, d.cfg.Chunk)
 	if err != nil {
 		return GEMVResult{}, err
@@ -165,7 +175,6 @@ func (d *Device) GEMV(matrix mapping.MatrixConfig) (GEMVResult, error) {
 	if res.Seconds > 0 {
 		res.EffectiveInternalGBs = float64(totalBytes) / res.Seconds / 1e9
 	}
-	d.cach[matrix] = res
 	return res, nil
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"facil/internal/dram"
 	"facil/internal/mapping"
+	"facil/internal/parallel"
 )
 
 // DefaultSampleBytes is the simulated window for large tensors. One window
@@ -36,11 +37,17 @@ type Result struct {
 // Engine measures re-layout costs for one platform. Measurements are
 // cached per (src, dst) mapping pair: the achieved bandwidth of the
 // streaming pattern is size-independent once past a few huge pages.
+//
+// An Engine is safe for concurrent use: each measurement replays its own
+// fresh controller, and the pair cache is internally synchronized with
+// in-flight deduplication, so concurrent misses on the same pair replay
+// the stream exactly once and share the result.
 type Engine struct {
 	spec   dram.Spec
 	table  *mapping.Table
 	sample int64
-	cache  map[[2]mapping.MapID]Result
+
+	cache parallel.Flight[[2]mapping.MapID, Result]
 }
 
 // NewEngine builds a re-layout engine. sampleBytes <= 0 selects
@@ -62,7 +69,6 @@ func NewEngine(spec dram.Spec, table *mapping.Table, sampleBytes int64) (*Engine
 		spec:   spec,
 		table:  table,
 		sample: sampleBytes,
-		cache:  make(map[[2]mapping.MapID]Result),
 	}, nil
 }
 
@@ -71,10 +77,13 @@ func NewEngine(spec dram.Spec, table *mapping.Table, sampleBytes int64) (*Engine
 // region is modeled at a distinct physical range (the transient
 // conventional copy of the on-demand re-layout scheme).
 func (e *Engine) measure(src, dst mapping.MapID) (Result, error) {
-	key := [2]mapping.MapID{src, dst}
-	if r, ok := e.cache[key]; ok {
-		return r, nil
-	}
+	return e.cache.Do([2]mapping.MapID{src, dst}, func() (Result, error) {
+		return e.replay(src, dst)
+	})
+}
+
+// replay runs one sample-window measurement; measure memoizes it.
+func (e *Engine) replay(src, dst mapping.MapID) (Result, error) {
 	g := e.spec.Geometry
 	tb := int64(g.TransferBytes)
 	n := e.sample / tb
@@ -102,7 +111,6 @@ func (e *Engine) measure(src, dst mapping.MapID) (Result, error) {
 		EffectiveGBs:   sr.BandwidthGBs,
 		RowHitRate:     sr.RowHitRate,
 	}
-	e.cache[key] = res
 	return res, nil
 }
 

@@ -9,11 +9,13 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"facil/internal/engine"
+	"facil/internal/parallel"
 	"facil/internal/stats"
 	"facil/internal/workload"
 )
@@ -118,15 +120,12 @@ func Simulate(s *engine.System, k engine.Kind, cfg Config) (Summary, error) {
 	return sum, nil
 }
 
-// Compare runs every design through the same scenario.
-func Compare(s *engine.System, kinds []engine.Kind, cfg Config) ([]Summary, error) {
-	out := make([]Summary, 0, len(kinds))
-	for _, k := range kinds {
-		sum, err := Simulate(s, k, cfg)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, sum)
-	}
-	return out, nil
+// Compare runs every design through the same scenario. Designs simulate
+// as independent sweep points (each replays its own seeded arrival
+// process), with summaries returned in kind order; opts tune the worker
+// pool and progress reporting.
+func Compare(ctx context.Context, s *engine.System, kinds []engine.Kind, cfg Config, opts ...parallel.Option) ([]Summary, error) {
+	return parallel.Sweep(ctx, kinds, func(ctx context.Context, k engine.Kind) (Summary, error) {
+		return Simulate(s, k, cfg)
+	}, opts...)
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"testing"
 
 	"facil/internal/engine"
@@ -69,7 +70,7 @@ func TestLoadAmplifiesLatency(t *testing.T) {
 func TestFACILServesBetterUnderLoad(t *testing.T) {
 	s := servingSystem(t)
 	cfg := testConfig(0.3)
-	sums, err := Compare(s, []engine.Kind{engine.HybridStatic, engine.FACIL}, cfg)
+	sums, err := Compare(context.Background(), s, []engine.Kind{engine.HybridStatic, engine.FACIL}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
