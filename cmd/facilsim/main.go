@@ -7,7 +7,11 @@
 //
 // With no arguments every experiment runs in DESIGN.md order. Experiment
 // identifiers: fig2a fig2b fig3 fig6 tab1 tab2 tab3 fig13 fig14 fig15
-// fig16 maxmap ablations cosched quant pimstyle energy serving.
+// fig16 maxmap ablations cosched quant pimstyle energy serving serving2.
+//
+// serving2 (the event-driven cooperative serving extension) accepts
+// -rates, -replicas and -modes as comma-separated sweep lists plus
+// -queuecap and -slo for the admission bound and TTLT goodput deadline.
 //
 // -par N bounds the worker pool: independent experiment identifiers run
 // concurrently, and each ported experiment additionally fans its sweep
@@ -28,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -37,6 +42,7 @@ import (
 	"facil/internal/engine"
 	"facil/internal/exp"
 	"facil/internal/parallel"
+	"facil/internal/serve"
 	"facil/internal/workload"
 )
 
@@ -48,6 +54,11 @@ func main() {
 	queries := flag.Int("queries", 0, "dataset experiments: queries per dataset (0 = default)")
 	seed := flag.Int64("seed", 0, "dataset experiments: sampling seed (0 = default)")
 	scale := flag.Int64("scale", 0, "tab1: memory down-scale factor (0 = default 8, 1 = paper-size)")
+	rates := flag.String("rates", "", "serving2: comma-separated arrival rates in q/s (empty = default)")
+	replicas := flag.String("replicas", "", "serving2: comma-separated replica counts (empty = default)")
+	modes := flag.String("modes", "", "serving2: comma-separated modes (serial, cooperative, relayout-hybrid)")
+	queueCap := flag.Int("queuecap", -1, "serving2: admission queue capacity (0 = unbounded, -1 = default)")
+	slo := flag.Float64("slo", -1, "serving2: TTLT goodput deadline in seconds (0 = none, -1 = default)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: facilsim [flags] [experiment ...]\n\nexperiments: %s\n\n",
 			strings.Join(exp.AllIDs, " "))
@@ -71,6 +82,11 @@ func main() {
 	}
 	lab := exp.NewLab(engine.DefaultConfig())
 	lab.SetParallelism(*par)
+	ov := overrides{
+		queries: *queries, seed: *seed, scale: *scale,
+		rates: *rates, replicas: *replicas, modes: *modes,
+		queueCap: *queueCap, slo: *slo,
+	}
 	if *verbose {
 		var mu sync.Mutex
 		lab.SetProgress(func(experiment string, done, total int) {
@@ -102,7 +118,7 @@ func main() {
 		finished := make([]bool, len(ids))
 		_, _ = parallel.Sweep(ctx, idxs, func(ctx context.Context, i int) (struct{}, error) {
 			start := time.Now()
-			tabs, err := run(ctx, lab, ids[i], *queries, *seed, *scale)
+			tabs, err := run(ctx, lab, ids[i], ov)
 			results[i] = outcome{tabs: tabs, err: err, elapsed: time.Since(start)}
 			finished[i] = true
 			close(ready[i])
@@ -156,9 +172,22 @@ func main() {
 	}
 }
 
+// overrides carries the command-line tweaks for the parameterizable
+// experiments.
+type overrides struct {
+	queries     int
+	seed, scale int64
+	rates       string
+	replicas    string
+	modes       string
+	queueCap    int
+	slo         float64
+}
+
 // run dispatches one experiment, honoring the override flags for the
 // parameterizable ones.
-func run(ctx context.Context, lab *exp.Lab, id string, queries int, seed, scale int64) ([]exp.Table, error) {
+func run(ctx context.Context, lab *exp.Lab, id string, ov overrides) ([]exp.Table, error) {
+	queries, seed, scale := ov.queries, ov.seed, ov.scale
 	switch id {
 	case "tab1":
 		cfg := exp.DefaultTable1Config()
@@ -169,6 +198,16 @@ func run(ctx context.Context, lab *exp.Lab, id string, queries int, seed, scale 
 			cfg.Seed = seed
 		}
 		t, err := lab.Table1(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []exp.Table{t}, nil
+	case "serving2":
+		cfg := exp.DefaultServing2Config()
+		if err := applyServing2Overrides(&cfg, ov); err != nil {
+			return nil, err
+		}
+		t, err := lab.Serving2(ctx, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -204,4 +243,51 @@ func run(ctx context.Context, lab *exp.Lab, id string, queries int, seed, scale 
 	default:
 		return lab.Run(ctx, id)
 	}
+}
+
+// applyServing2Overrides folds the serving2 flags into the config.
+func applyServing2Overrides(cfg *exp.Serving2Config, ov overrides) error {
+	if ov.queries > 0 {
+		cfg.Queries = ov.queries
+	}
+	if ov.seed != 0 {
+		cfg.Seed = ov.seed
+	}
+	if ov.queueCap >= 0 {
+		cfg.QueueCap = ov.queueCap
+	}
+	if ov.slo >= 0 {
+		cfg.DeadlineTTLT = ov.slo
+	}
+	if ov.rates != "" {
+		cfg.Rates = cfg.Rates[:0]
+		for _, f := range strings.Split(ov.rates, ",") {
+			r, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil || r <= 0 {
+				return fmt.Errorf("bad -rates entry %q", f)
+			}
+			cfg.Rates = append(cfg.Rates, r)
+		}
+	}
+	if ov.replicas != "" {
+		cfg.Replicas = cfg.Replicas[:0]
+		for _, f := range strings.Split(ov.replicas, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n <= 0 {
+				return fmt.Errorf("bad -replicas entry %q", f)
+			}
+			cfg.Replicas = append(cfg.Replicas, n)
+		}
+	}
+	if ov.modes != "" {
+		cfg.Modes = cfg.Modes[:0]
+		for _, f := range strings.Split(ov.modes, ",") {
+			m, err := serve.ParseMode(strings.TrimSpace(f))
+			if err != nil {
+				return err
+			}
+			cfg.Modes = append(cfg.Modes, m)
+		}
+	}
+	return nil
 }

@@ -1,0 +1,36 @@
+package addr
+
+import (
+	"testing"
+
+	"facil/internal/dram"
+)
+
+// FuzzConventionalRoundTrip fuzzes physical addresses through the
+// conventional row:rank:column:bank:channel mapping: Translate and
+// Inverse must be exact inverses over the device's address space.
+func FuzzConventionalRoundTrip(f *testing.F) {
+	g := dram.Geometry{
+		Channels:        4,
+		RanksPerChannel: 2,
+		BanksPerRank:    8,
+		Rows:            1 << 15,
+		RowBytes:        2048,
+		TransferBytes:   32,
+	}
+	m, err := Conventional(g)
+	if err != nil {
+		f.Fatal(err)
+	}
+	capacity := uint64(g.CapacityBytes())
+	f.Add(uint64(0))
+	f.Add(uint64(g.RowBytes - 1))
+	f.Add(capacity - 1)
+	f.Fuzz(func(t *testing.T, pa uint64) {
+		pa %= capacity
+		a, off := m.Translate(pa)
+		if back := m.Inverse(a, off); back != pa {
+			t.Fatalf("round trip %#x -> %v+%d -> %#x", pa, a, off, back)
+		}
+	})
+}

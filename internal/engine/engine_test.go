@@ -2,20 +2,31 @@ package engine
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"facil/internal/llm"
 	"facil/internal/soc"
 )
 
-// jetsonSystem builds the paper's primary configuration.
+// jetsonSystem returns the paper's primary configuration. The System is
+// immutable and goroutine-safe, so all tests share one instance and its
+// memoized latency caches instead of each paying a cold build.
+var jetsonOnce = struct {
+	sync.Once
+	s   *System
+	err error
+}{}
+
 func jetsonSystem(t *testing.T) *System {
 	t.Helper()
-	s, err := NewSystem(soc.Jetson, llm.Llama3_8B(), DefaultConfig())
-	if err != nil {
-		t.Fatal(err)
+	jetsonOnce.Do(func() {
+		jetsonOnce.s, jetsonOnce.err = NewSystem(soc.Jetson, llm.Llama3_8B(), DefaultConfig())
+	})
+	if jetsonOnce.err != nil {
+		t.Fatal(jetsonOnce.err)
 	}
-	return s
+	return jetsonOnce.s
 }
 
 func TestFACILBeatsHybridStaticTTFT(t *testing.T) {

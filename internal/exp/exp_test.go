@@ -3,6 +3,7 @@ package exp
 import (
 	"context"
 	"strings"
+	"sync"
 	"testing"
 
 	"facil/internal/engine"
@@ -10,7 +11,23 @@ import (
 	"facil/internal/workload"
 )
 
-func testLab() *Lab { return NewLab(engine.DefaultConfig()) }
+// testLab returns a shared Lab for read-only use: experiments are pure
+// functions of their config, and the Lab's System caches are immutable
+// once warm, so tests reuse one instance instead of each paying cold
+// latency computation. Tests that reconfigure the lab (SetParallelism,
+// SetProgress) must use freshLab instead.
+var labOnce = struct {
+	sync.Once
+	l *Lab
+}{}
+
+func testLab() *Lab {
+	labOnce.Do(func() { labOnce.l = NewLab(engine.DefaultConfig()) })
+	return labOnce.l
+}
+
+// freshLab builds a private Lab for tests that mutate lab configuration.
+func freshLab() *Lab { return NewLab(engine.DefaultConfig()) }
 
 func TestFig2aLinearDominates(t *testing.T) {
 	l := testLab()
@@ -65,6 +82,9 @@ func TestFig6ReproducesShape(t *testing.T) {
 }
 
 func TestFig13ReproducesPaperOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping full fig13 sweep in -short mode")
+	}
 	l := testLab()
 	rows, err := l.Fig13Compute(context.Background())
 	if err != nil {

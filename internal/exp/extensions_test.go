@@ -93,6 +93,9 @@ func TestServingExperiment(t *testing.T) {
 }
 
 func TestAblationTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping ablation sweeps in -short mode")
+	}
 	l := testLab()
 	if tab, err := l.AblationDynamicThreshold(context.Background()); err != nil || len(tab.Rows) != len(soc.All()) {
 		t.Errorf("dynamic threshold ablation: %v, %d rows", err, len(tab.Rows))

@@ -1,0 +1,109 @@
+package exp
+
+import (
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"facil/internal/soc"
+	"facil/internal/workload"
+)
+
+// update rewrites the golden files instead of comparing against them:
+//
+//	go test ./internal/exp -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite testdata/*.golden from current output")
+
+// checkGolden compares rendered output byte-for-byte against the
+// committed testdata/<name>.golden file.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatalf("update %s: %v", path, err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s (regenerate with -update): %v", path, err)
+	}
+	if string(want) != got {
+		t.Errorf("%s: output diverged from golden file (re-run with -update if intended)\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// goldenServing2Config keeps the serving2 golden cheap: one rate, both
+// replica counts, all three modes.
+func goldenServing2Config() Serving2Config {
+	cfg := DefaultServing2Config()
+	cfg.Queries = 20
+	cfg.Rates = []float64{0.3}
+	cfg.Replicas = []int{1, 2}
+	return cfg
+}
+
+// TestGoldenTables pins the rendered output of the headline experiments.
+// Any change to latency models, sweep configs or table formatting shows
+// up as a byte-level diff here.
+func TestGoldenTables(t *testing.T) {
+	l := testLab()
+	ctx := context.Background()
+	small := DatasetConfig{Queries: 10, Seed: 2024}
+	cases := []struct {
+		name string
+		slow bool // skipped under -short (tens of seconds of compute)
+		run  func() (Table, error)
+	}{
+		{"fig13", true, func() (Table, error) { return l.Fig13(ctx) }},
+		{"fig14_iphone", false, func() (Table, error) { return l.Fig14(ctx, soc.IPhone) }},
+		{"fig15_alpaca_q10", false, func() (Table, error) { return l.Fig15(ctx, workload.AlpacaSpec(), small) }},
+		{"fig16_alpaca_q10", false, func() (Table, error) { return l.Fig16(ctx, workload.AlpacaSpec(), small) }},
+		{"tab1_scale64", false, func() (Table, error) {
+			cfg := DefaultTable1Config()
+			cfg.Scale = 64
+			return l.Table1(ctx, cfg)
+		}},
+		{"tab3", true, func() (Table, error) { return l.Table3(ctx, soc.LayoutSlowdownConfig{}) }},
+		{"serving2_small", false, func() (Table, error) { return l.Serving2(ctx, goldenServing2Config()) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.slow && testing.Short() {
+				t.Skip("skipping slow golden case in -short mode")
+			}
+			tab, err := tc.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, tc.name, tab.String())
+		})
+	}
+}
+
+// TestServing2Deterministic renders the serving2 table serially, again
+// serially, and at 8-way parallelism: all three must be byte-identical
+// (the sweep assigns results by point index, and every point owns its
+// RNG state).
+func TestServing2Deterministic(t *testing.T) {
+	cfg := goldenServing2Config()
+	render := func(par int) string {
+		l := freshLab()
+		l.SetParallelism(par)
+		tab, err := l.Serving2(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("par %d: %v", par, err)
+		}
+		return tab.String()
+	}
+	serial := render(1)
+	if again := render(1); again != serial {
+		t.Errorf("repeated serial runs differ:\n%s\nvs\n%s", serial, again)
+	}
+	if par := render(8); par != serial {
+		t.Errorf("par 8 differs from serial:\n%s\nvs\n%s", serial, par)
+	}
+}

@@ -35,11 +35,14 @@ func TestAllIDsMatchesRegistry(t *testing.T) {
 // run. Exercised on fig13 (platform x prefill grid) and fig14 (TTLT
 // grid); -race covers the shared System caches.
 func TestParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping whole-registry parallel/serial comparison in -short mode (TestServing2Deterministic keeps a fast variant)")
+	}
 	ctx := context.Background()
 	// One lab serves both runs: the serial pass populates the shared
 	// System caches, the parallel pass then hammers them from 8 workers
 	// (exercised under -race), and both must render identical bytes.
-	l := testLab()
+	l := freshLab()
 
 	l.SetParallelism(1)
 	s13, err := l.Fig13(ctx)
@@ -72,7 +75,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 // TestRunHonorsCancellation verifies a cancelled context aborts an
 // experiment promptly with the context's error.
 func TestRunHonorsCancellation(t *testing.T) {
-	l := testLab()
+	l := freshLab()
 	l.SetParallelism(8)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
@@ -91,7 +94,7 @@ func TestRunHonorsCancellation(t *testing.T) {
 // Progress callbacks are serialized by the sweep, so the unlocked append
 // is safe (and -race verifies that claim).
 func TestProgressReporting(t *testing.T) {
-	l := testLab()
+	l := freshLab()
 	l.SetParallelism(4)
 	type tick struct {
 		exp         string

@@ -27,6 +27,9 @@ func TestRenderFig2aFig3Fig6(t *testing.T) {
 }
 
 func TestRenderFig13Fig14(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping fig13/fig14 render in -short mode (golden files cover the output)")
+	}
 	l := testLab()
 	tab, err := l.Fig13(context.Background())
 	if err != nil {
@@ -45,6 +48,9 @@ func TestRenderFig13Fig14(t *testing.T) {
 }
 
 func TestRenderFig15Fig16Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping fig15/fig16 render in -short mode (golden files cover the output)")
+	}
 	l := testLab()
 	cfg := DatasetConfig{Queries: 10, Seed: 3}
 	tab, err := l.Fig15(context.Background(), workload.AlpacaSpec(), cfg)

@@ -1,0 +1,150 @@
+package mapping
+
+import (
+	"math/rand"
+	"testing"
+
+	"facil/internal/dram"
+)
+
+// bijectionConfigs spans the geometries the property test sweeps. The
+// union of their MapID ranges (plus the conventional mapping) covers at
+// least 16 distinct MapIDs, including the paper's worst-case maximum of
+// 13 (Sec. IV-B) and one beyond it from a 4 MB huge page.
+func bijectionConfigs() []struct {
+	name string
+	mc   MemoryConfig
+} {
+	worst := dram.Geometry{ // paper worst case: 1 channel, 1 rank, 8 banks
+		Channels:        1,
+		RanksPerChannel: 1,
+		BanksPerRank:    8,
+		Rows:            1 << 16,
+		RowBytes:        2048,
+		TransferBytes:   32,
+	}
+	// narrow pushes MinMapID down to 1 (a 64 B row is two transfers), so
+	// the sweep reaches the MapIDs a wide row can never select.
+	narrow := dram.Geometry{
+		Channels:        2,
+		RanksPerChannel: 1,
+		BanksPerRank:    4,
+		Rows:            1 << 16,
+		RowBytes:        64,
+		TransferBytes:   32,
+	}
+	return []struct {
+		name string
+		mc   MemoryConfig
+	}{
+		{"worst-2MB", MemoryConfig{Geometry: worst, HugePageBytes: 2 << 20}},
+		{"worst-4MB", MemoryConfig{Geometry: worst, HugePageBytes: 4 << 20}},
+		{"lpddr5-2MB", testMem()},
+		{"narrow-2MB", MemoryConfig{Geometry: narrow, HugePageBytes: 2 << 20}},
+		{"narrow-4MB", MemoryConfig{Geometry: narrow, HugePageBytes: 4 << 20}},
+		{"narrow-8MB", MemoryConfig{Geometry: narrow, HugePageBytes: 8 << 20}},
+	}
+}
+
+// TestTranslateBijectionExhaustive proves, for every MapID of every
+// configuration (both PIM styles plus the conventional mapping), that
+// PA-to-DA translation is a bijection over the huge page: the round trip
+// Inverse(Translate(pa)) == pa holds for EVERY byte address in the page,
+// which gives injectivity directly, and surjectivity onto the page's
+// image follows by counting. Under -short the walk samples every burst
+// plus random byte offsets instead of every byte.
+func TestTranslateBijectionExhaustive(t *testing.T) {
+	covered := map[MapID]bool{ConventionalMapID: true}
+	for _, cfg := range bijectionConfigs() {
+		for _, chunk := range []ChunkConfig{AiMChunk(cfg.mc.Geometry), HBMPIMChunk(cfg.mc.Geometry)} {
+			if chunk.Validate(cfg.mc.Geometry) != nil {
+				continue // e.g. HBM-PIM's 8-row chunk cannot fit a 64 B row
+			}
+			tab, err := NewTable(cfg.mc, chunk)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", cfg.name, chunk.Style, err)
+			}
+			min, max := tab.Range()
+			ids := []MapID{ConventionalMapID}
+			for id := min; id <= max; id++ {
+				ids = append(ids, id)
+				covered[id] = true
+			}
+			step := uint64(1)
+			if testing.Short() {
+				step = uint64(cfg.mc.Geometry.TransferBytes)
+			}
+			for _, id := range ids {
+				m := tab.Lookup(id)
+				for pa := uint64(0); pa < uint64(cfg.mc.HugePageBytes); pa += step {
+					a, off := m.Translate(pa)
+					if back := m.Inverse(a, off); back != pa {
+						t.Fatalf("%s/%s %v: round trip %#x -> %v+%d -> %#x",
+							cfg.name, chunk.Style, id, pa, a, off, back)
+					}
+				}
+			}
+		}
+	}
+	if len(covered) < 16 {
+		t.Errorf("property covered only %d distinct MapIDs, want >= 16", len(covered))
+	}
+}
+
+// TestInverseRoundTripsFromDA checks the opposite direction on random
+// valid DRAM addresses: Translate(Inverse(a, off)) == (a, off), so the
+// mapping is onto the whole device address space, not just the page.
+func TestInverseRoundTripsFromDA(t *testing.T) {
+	mc := testMem()
+	g := mc.Geometry
+	tab, err := NewTable(mc, AiMChunk(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := tab.Range()
+	rng := rand.New(rand.NewSource(7))
+	for id := min; id <= max; id++ {
+		m := tab.Lookup(id)
+		for i := 0; i < 2000; i++ {
+			a := dram.Addr{
+				Channel: rng.Intn(g.Channels),
+				Rank:    rng.Intn(g.RanksPerChannel),
+				Bank:    rng.Intn(g.BanksPerRank),
+				Row:     rng.Intn(g.Rows),
+				Column:  rng.Intn(g.RowBytes / g.TransferBytes),
+			}
+			off := rng.Intn(g.TransferBytes)
+			pa := m.Inverse(a, off)
+			if a2, off2 := m.Translate(pa); a2 != a || off2 != off {
+				t.Fatalf("%v: DA round trip %v+%d -> %#x -> %v+%d", MapID(id), a, off, pa, a2, off2)
+			}
+		}
+	}
+}
+
+// FuzzPIMTranslateRoundTrip fuzzes (pa, id) over the whole device: any
+// physical address under any supported MapID must survive the
+// Translate/Inverse round trip. Seeds cover both page boundaries and the
+// MapID range ends.
+func FuzzPIMTranslateRoundTrip(f *testing.F) {
+	mc := testMem()
+	tab, err := NewTable(mc, AiMChunk(mc.Geometry))
+	if err != nil {
+		f.Fatal(err)
+	}
+	min, max := tab.Range()
+	capacity := uint64(mc.Geometry.CapacityBytes())
+	f.Add(uint64(0), uint8(0))
+	f.Add(uint64(mc.HugePageBytes-1), uint8(min))
+	f.Add(uint64(mc.HugePageBytes), uint8(max))
+	f.Add(capacity-1, uint8(max))
+	f.Fuzz(func(t *testing.T, pa uint64, rawID uint8) {
+		pa %= capacity
+		id := MapID(int(min) + int(rawID)%(int(max)-int(min)+2) - 1) // min-1 .. max; min-1 maps conventional
+		m := tab.Lookup(id)
+		a, off := m.Translate(pa)
+		if back := m.Inverse(a, off); back != pa {
+			t.Fatalf("%v: round trip %#x -> %v+%d -> %#x", id, pa, a, off, back)
+		}
+	})
+}

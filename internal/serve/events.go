@@ -1,0 +1,78 @@
+package serve
+
+import "container/heap"
+
+// evKind discriminates simulator events.
+type evKind int
+
+const (
+	// evArrival enqueues a query at the admission controller.
+	evArrival evKind = iota
+	// evPrefillDone frees a replica's SoC lane and hands the query to
+	// the decode lane (first token emitted here).
+	evPrefillDone
+	// evQuantumDone ends one decode scheduling quantum on a replica's
+	// PIM lane: the query either finished or rejoins the decode queue.
+	evQuantumDone
+)
+
+// event is one entry of the simulator's time-ordered heap.
+type event struct {
+	at   float64
+	seq  int64 // tie-break: FIFO among simultaneous events
+	kind evKind
+	q    *query
+	rep  int // replica index (evPrefillDone, evQuantumDone)
+	// steps is the number of decode steps the ending quantum covered.
+	steps int
+}
+
+// eventHeap is a min-heap ordered by (at, seq); seq keeps simultaneous
+// events in insertion order so runs are deterministic.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// floatHeap is a min-heap of float64 — the completion-time tracker that
+// replaces the old Simulate's O(n²) in-flight rescan: arrivals pop every
+// completion time at or before the clock and read the backlog as the
+// heap length, O(log n) per query.
+type floatHeap []float64
+
+func (h floatHeap) Len() int           { return len(h) }
+func (h floatHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h floatHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *floatHeap) Push(x any)        { *h = append(*h, x.(float64)) }
+func (h *floatHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// pushTime and popExpired wrap the container/heap plumbing.
+func (h *floatHeap) pushTime(t float64) { heap.Push(h, t) }
+
+// popExpired removes every completion time at or before now.
+func (h *floatHeap) popExpired(now float64) {
+	for h.Len() > 0 && (*h)[0] <= now {
+		heap.Pop(h)
+	}
+}

@@ -76,7 +76,7 @@ func Simulate(s *engine.System, k engine.Kind, cfg Config) (Summary, error) {
 		busy     float64
 		ttfts    []float64
 		ttlts    []float64
-		inFlight []float64 // completion times of queued/running queries
+		inFlight floatHeap // completion times of queued/running queries
 		maxDepth int
 	)
 	for _, q := range ds.Queries {
@@ -95,15 +95,12 @@ func Simulate(s *engine.System, k engine.Kind, cfg Config) (Summary, error) {
 		ttfts = append(ttfts, start+ttft-clock)
 		ttlts = append(ttlts, freeAt-clock)
 
-		// Queue depth: completions still pending at this arrival.
-		depth := 0
-		inFlight = append(inFlight, freeAt)
-		for _, done := range inFlight {
-			if done > clock {
-				depth++
-			}
-		}
-		if depth > maxDepth {
+		// Queue depth: completions still pending at this arrival. The
+		// min-heap retires finished queries in O(log n) per arrival
+		// instead of rescanning every query simulated so far.
+		inFlight.pushTime(freeAt)
+		inFlight.popExpired(clock)
+		if depth := inFlight.Len(); depth > maxDepth {
 			maxDepth = depth
 		}
 	}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"sync"
 	"testing"
 
 	"facil/internal/engine"
@@ -10,13 +11,24 @@ import (
 	"facil/internal/workload"
 )
 
+// servingSystem returns a shared engine.System: it is immutable and
+// goroutine-safe, so every test reuses one instance and its memoized
+// latency caches instead of paying a cold build each.
+var servingOnce = struct {
+	sync.Once
+	s   *engine.System
+	err error
+}{}
+
 func servingSystem(t *testing.T) *engine.System {
 	t.Helper()
-	s, err := engine.NewSystem(soc.IPhone, llm.Phi1_5(), engine.DefaultConfig())
-	if err != nil {
-		t.Fatal(err)
+	servingOnce.Do(func() {
+		servingOnce.s, servingOnce.err = engine.NewSystem(soc.IPhone, llm.Phi1_5(), engine.DefaultConfig())
+	})
+	if servingOnce.err != nil {
+		t.Fatal(servingOnce.err)
 	}
-	return s
+	return servingOnce.s
 }
 
 func testConfig(rate float64) Config {

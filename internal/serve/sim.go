@@ -1,0 +1,561 @@
+package serve
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"facil/internal/engine"
+	"facil/internal/stats"
+	"facil/internal/workload"
+)
+
+// Mode selects how a replica's two lanes — the SoC (prefill GEMM) lane
+// and the PIM (decode GEMV) lane — are scheduled against each other.
+type Mode int
+
+const (
+	// Serial reproduces the old closed-form queue: one query occupies
+	// the whole device from prefill start to last token, nothing
+	// overlaps. This is the pre-FACIL on-device baseline.
+	Serial Mode = iota
+	// Cooperative is the FACIL operating point: one weight copy serves
+	// both processors, so the SoC lane prefills query B while the PIM
+	// lane decodes query A. Prefill always takes the SoC route (the PIM
+	// lane is reserved for decode).
+	Cooperative
+	// RelayoutHybrid is the paper's baseline under the same two-lane
+	// scheduler: every prefill handoff first re-lays the weights into
+	// the SoC layout (cost from internal/relayout), and the PIM lane
+	// stalls for that window because the weights are in flight.
+	RelayoutHybrid
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Serial:
+		return "serial"
+	case Cooperative:
+		return "cooperative"
+	case RelayoutHybrid:
+		return "relayout-hybrid"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// ParseMode resolves a command-line mode name.
+func ParseMode(s string) (Mode, error) {
+	for _, m := range []Mode{Serial, Cooperative, RelayoutHybrid} {
+		if s == m.String() {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("serve: unknown mode %q (serial, cooperative, relayout-hybrid)", s)
+}
+
+// Modes lists all scheduling modes in presentation order.
+func Modes() []Mode { return []Mode{Serial, Cooperative, RelayoutHybrid} }
+
+// SimConfig describes one event-driven serving scenario.
+type SimConfig struct {
+	// Mode schedules the lanes; Kind selects the latency model design.
+	Mode Mode
+	Kind engine.Kind
+	// Replicas is the number of identical devices pulling from one
+	// admission queue (1 = single on-device accelerator).
+	Replicas int
+	// ArrivalRate is the mean arrival rate in queries/second
+	// (exponential inter-arrival gaps).
+	ArrivalRate float64
+	// Queries is the number of simulated queries.
+	Queries int
+	// Workload samples the (prefill, decode) lengths.
+	Workload workload.Spec
+	// Seed drives arrivals and lengths. Every Run owns its RNG, so
+	// concurrent sweep points never share arrival state.
+	Seed int64
+	// QueueCap bounds the number of queries in the system (waiting plus
+	// executing); arrivals beyond it are rejected. 0 = unbounded.
+	QueueCap int
+	// DeadlineTTLT is the SLO on arrival-to-last-token: completions
+	// within it count toward goodput. 0 disables the SLO (goodput ==
+	// throughput).
+	DeadlineTTLT float64
+	// Timeout hard-aborts a query whose age exceeds it, checked at the
+	// scheduling boundaries (prefill dispatch and decode preemption
+	// points). 0 = never.
+	Timeout float64
+	// PreemptSteps is the decode-lane scheduling quantum in decode
+	// steps: after that many tokens the lane rotates to the next
+	// waiting query (round-robin). 0 selects DefaultPreemptSteps.
+	PreemptSteps int
+}
+
+// DefaultPreemptSteps is the decode quantum when SimConfig leaves it 0.
+const DefaultPreemptSteps = 8
+
+// Validate rejects degenerate scenarios.
+func (c SimConfig) Validate() error {
+	if c.ArrivalRate <= 0 {
+		return fmt.Errorf("serve: arrival rate must be positive")
+	}
+	if c.Queries <= 0 {
+		return fmt.Errorf("serve: query count must be positive")
+	}
+	if c.Replicas <= 0 {
+		return fmt.Errorf("serve: replica count must be positive")
+	}
+	if c.QueueCap < 0 || c.DeadlineTTLT < 0 || c.Timeout < 0 || c.PreemptSteps < 0 {
+		return fmt.Errorf("serve: negative limit in %+v", c)
+	}
+	return nil
+}
+
+// Metrics summarizes one event-driven serving run.
+type Metrics struct {
+	Mode     Mode
+	Kind     engine.Kind
+	Replicas int
+
+	// Query accounting: Arrived = Admitted + Rejected;
+	// Admitted = Completed + TimedOut.
+	Arrived, Admitted, Rejected int
+	Completed, TimedOut         int
+
+	// TTFT is arrival to first token, TTLT arrival to last token, TBT
+	// the gap between consecutive tokens of one query (including
+	// preemption wait). All in seconds, over completed queries.
+	TTFT, TTLT, TBT stats.Quantiles
+
+	// Makespan is simulation start (t=0) to the last event; the first
+	// arrival lands one exponential gap after t=0, matching the legacy
+	// Simulate clock (its utilization divides by the same span).
+	Makespan float64
+	// ThroughputQPS is completions per second of makespan; GoodputQPS
+	// counts only completions within DeadlineTTLT.
+	ThroughputQPS, GoodputQPS float64
+	// SLOMet is the completion count behind GoodputQPS.
+	SLOMet int
+
+	// SoCUtilization and PIMUtilization are busy-seconds over
+	// replica-seconds per lane type.
+	SoCUtilization, PIMUtilization float64
+
+	// QueueDepth is the time-weighted distribution of in-system queries
+	// (waiting + executing); SoCBusy/PIMBusy the time-weighted busy-lane
+	// counts (0..Replicas).
+	QueueDepth       stats.TimeHist
+	SoCBusy, PIMBusy stats.TimeHist
+	// MaxQueueDepth is the deepest in-system backlog observed.
+	MaxQueueDepth int
+}
+
+// query is one request flowing through the simulator.
+type query struct {
+	id              int
+	arrival         float64
+	prefill, decode int
+	stepsDone       int     // decode steps finished (of decode-1)
+	firstToken      float64 // prefill completion (token 1)
+	prevToken       float64 // last emitted token (TBT anchor)
+}
+
+// replica is one device: a SoC lane, a PIM lane, and its decode queue
+// (queries stay on the replica that prefilled them — the KV cache lives
+// there).
+type replica struct {
+	socBusy bool
+	pimBusy bool
+	// pimFreeAt is when an in-flight relayout window releases the PIM
+	// lane (RelayoutHybrid only).
+	pimFreeAt float64
+	decodeQ   []*query
+}
+
+// sim is the run state of one event-driven simulation.
+type sim struct {
+	cfg   SimConfig
+	sys   *engine.System
+	evs   eventHeap
+	seq   int64
+	reps  []replica
+	wait  []*query // admission FIFO feeding SoC lanes
+	relay float64  // per-handoff re-layout seconds (RelayoutHybrid)
+
+	now      float64
+	inSystem int
+	busySoC  int
+	busyPIM  int
+	lastT    float64 // previous state-change instant for the TimeHists
+
+	socBusySecs, pimBusySecs float64
+
+	m     Metrics
+	ttfts []float64
+	ttlts []float64
+	tbts  []float64
+}
+
+// Run simulates cfg.Queries through the two-lane replica fleet and
+// summarizes latencies, throughput and lane utilization. The run is
+// single-threaded and fully deterministic in cfg.Seed.
+func Run(s *engine.System, cfg SimConfig) (Metrics, error) {
+	if err := cfg.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	if cfg.PreemptSteps == 0 {
+		cfg.PreemptSteps = DefaultPreemptSteps
+	}
+	ds, err := workload.Generate(cfg.Workload, cfg.Queries, cfg.Seed+1)
+	if err != nil {
+		return Metrics{}, err
+	}
+	sm := &sim{
+		cfg:  cfg,
+		sys:  s,
+		reps: make([]replica, cfg.Replicas),
+		m:    Metrics{Mode: cfg.Mode, Kind: cfg.Kind, Replicas: cfg.Replicas},
+	}
+	if cfg.Mode == RelayoutHybrid {
+		if sm.relay, err = s.RelayoutAllWeightsSeconds(); err != nil {
+			return Metrics{}, err
+		}
+	}
+	// The arrival process is owned by this run: a fresh RNG consumes
+	// exactly one exponential gap per query, in arrival order, matching
+	// the legacy Simulate clock.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var clock float64
+	for i, q := range ds.Queries {
+		clock += rng.ExpFloat64() / cfg.ArrivalRate
+		sm.push(&event{at: clock, kind: evArrival, q: &query{
+			id: i, arrival: clock, prefill: q.Prefill, decode: q.Decode,
+		}})
+	}
+	if err := sm.loop(); err != nil {
+		return Metrics{}, err
+	}
+	return sm.finish(), nil
+}
+
+// push adds an event with the next tie-break sequence number.
+func (sm *sim) push(e *event) {
+	e.seq = sm.seq
+	sm.seq++
+	heap.Push(&sm.evs, e)
+}
+
+// advance moves the clock to t, charging the elapsed interval to the
+// time-weighted histograms at the state held since the last change.
+func (sm *sim) advance(t float64) {
+	if dt := t - sm.lastT; dt > 0 {
+		sm.m.QueueDepth.Add(float64(sm.inSystem), dt)
+		sm.m.SoCBusy.Add(float64(sm.busySoC), dt)
+		sm.m.PIMBusy.Add(float64(sm.busyPIM), dt)
+		sm.lastT = t
+	}
+	sm.now = t
+}
+
+// loop drains the event heap.
+func (sm *sim) loop() error {
+	for sm.evs.Len() > 0 {
+		e := heap.Pop(&sm.evs).(*event)
+		sm.advance(e.at)
+		switch e.kind {
+		case evArrival:
+			if err := sm.onArrival(e.q); err != nil {
+				return err
+			}
+		case evPrefillDone:
+			if err := sm.onPrefillDone(e.q, e.rep); err != nil {
+				return err
+			}
+		case evQuantumDone:
+			if err := sm.onQuantumDone(e.q, e.rep, e.steps); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// onArrival admits or rejects a query, then tries to start prefills.
+func (sm *sim) onArrival(q *query) error {
+	sm.m.Arrived++
+	if sm.cfg.QueueCap > 0 && sm.inSystem >= sm.cfg.QueueCap {
+		sm.m.Rejected++
+		return nil
+	}
+	sm.m.Admitted++
+	sm.inSystem++
+	if sm.inSystem > sm.m.MaxQueueDepth {
+		sm.m.MaxQueueDepth = sm.inSystem
+	}
+	sm.wait = append(sm.wait, q)
+	return sm.dispatchPrefills()
+}
+
+// expired reports whether q has outlived the hard timeout.
+func (sm *sim) expired(q *query) bool {
+	return sm.cfg.Timeout > 0 && sm.now-q.arrival > sm.cfg.Timeout
+}
+
+// abort drops a query at a scheduling boundary.
+func (sm *sim) abort(q *query) {
+	sm.m.TimedOut++
+	sm.inSystem--
+}
+
+// dispatchPrefills starts waiting queries on every free SoC lane. In
+// Serial mode a replica must be entirely idle (both lanes and no decode
+// backlog) — the query owns the whole device.
+func (sm *sim) dispatchPrefills() error {
+	for len(sm.wait) > 0 {
+		q := sm.wait[0]
+		if sm.expired(q) {
+			sm.wait = sm.wait[1:]
+			sm.abort(q)
+			continue
+		}
+		ri := -1
+		for i := range sm.reps {
+			r := &sm.reps[i]
+			if r.socBusy {
+				continue
+			}
+			if sm.cfg.Mode == Serial && (r.pimBusy || len(r.decodeQ) > 0) {
+				continue
+			}
+			ri = i
+			break
+		}
+		if ri < 0 {
+			return nil
+		}
+		sm.wait = sm.wait[1:]
+		if err := sm.startPrefill(q, ri); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// startPrefill occupies the replica's SoC lane with q's prefill phase.
+func (sm *sim) startPrefill(q *query, ri int) error {
+	r := &sm.reps[ri]
+	switch sm.cfg.Mode {
+	case Serial:
+		// The whole query runs as one exclusive service interval, using
+		// the design's own prefill routing (dynamic offload included) —
+		// exactly the legacy closed-form model.
+		ttft, err := sm.sys.TTFT(sm.cfg.Kind, q.prefill)
+		if err != nil {
+			return err
+		}
+		ttlt, err := sm.sys.TTLT(sm.cfg.Kind, q.prefill, q.decode)
+		if err != nil {
+			return err
+		}
+		r.socBusy, r.pimBusy = true, true
+		sm.busySoC++
+		sm.busyPIM++
+		sm.socBusySecs += ttlt
+		sm.pimBusySecs += ttlt
+		sm.push(&event{at: sm.now + ttft, kind: evPrefillDone, q: q, rep: ri})
+		return nil
+	default:
+		// Cooperative lanes: prefill takes the SoC route (the PIM lane
+		// is decoding other queries on the same weights). The hybrid
+		// baseline's TTFTStatic already charges the re-layout; the mode
+		// additionally stalls the PIM lane for that window, because the
+		// weights are being rewritten. Designs that pay no re-layout of
+		// their own get it charged explicitly.
+		pre, err := sm.sys.TTFTStatic(sm.cfg.Kind, q.prefill)
+		if err != nil {
+			return err
+		}
+		if sm.cfg.Mode == RelayoutHybrid {
+			switch sm.cfg.Kind {
+			case engine.HybridStatic, engine.HybridDynamic:
+				// Re-layout already inside TTFTStatic.
+			default:
+				pre += sm.relay
+			}
+			if t := sm.now + sm.relay; t > r.pimFreeAt {
+				r.pimFreeAt = t
+			}
+		}
+		r.socBusy = true
+		sm.busySoC++
+		sm.socBusySecs += pre
+		sm.push(&event{at: sm.now + pre, kind: evPrefillDone, q: q, rep: ri})
+		return nil
+	}
+}
+
+// onPrefillDone emits the first token and hands the query to the decode
+// lane (or completes it when there is nothing left to decode).
+func (sm *sim) onPrefillDone(q *query, ri int) error {
+	r := &sm.reps[ri]
+	q.firstToken = sm.now
+	q.prevToken = sm.now
+	sm.ttfts = append(sm.ttfts, sm.now-q.arrival)
+	if sm.cfg.Mode == Serial {
+		// The device stays occupied; completion arrives as one quantum
+		// covering every decode step.
+		if q.decode <= 1 {
+			return sm.completeSerial(q, ri)
+		}
+		dur, err := sm.quantumSeconds(q, q.decode-1)
+		if err != nil {
+			return err
+		}
+		sm.push(&event{at: sm.now + dur, kind: evQuantumDone, q: q, rep: ri, steps: q.decode - 1})
+		return nil
+	}
+	r.socBusy = false
+	sm.busySoC--
+	if q.decode <= 1 {
+		sm.complete(q)
+	} else {
+		r.decodeQ = append(r.decodeQ, q)
+	}
+	if err := sm.dispatchPrefills(); err != nil {
+		return err
+	}
+	return sm.dispatchDecode(ri)
+}
+
+// quantumSeconds sums the next `steps` decode-step latencies of q.
+func (sm *sim) quantumSeconds(q *query, steps int) (float64, error) {
+	var t float64
+	for i := 0; i < steps; i++ {
+		st, err := sm.sys.DecodeStepSeconds(sm.cfg.Kind, q.prefill+q.stepsDone+i+1)
+		if err != nil {
+			return 0, err
+		}
+		t += st
+	}
+	return t, nil
+}
+
+// emitTokens replays the token emission times of a finished quantum that
+// started at `start`, recording the inter-token gaps.
+func (sm *sim) emitTokens(q *query, start float64, steps int) error {
+	t := start
+	for i := 0; i < steps; i++ {
+		st, err := sm.sys.DecodeStepSeconds(sm.cfg.Kind, q.prefill+q.stepsDone+i+1)
+		if err != nil {
+			return err
+		}
+		t += st
+		sm.tbts = append(sm.tbts, t-q.prevToken)
+		q.prevToken = t
+	}
+	q.stepsDone += steps
+	return nil
+}
+
+// dispatchDecode starts the next decode quantum on a replica's PIM lane
+// (round-robin over its decode queue at PreemptSteps granularity).
+func (sm *sim) dispatchDecode(ri int) error {
+	r := &sm.reps[ri]
+	for !r.pimBusy && len(r.decodeQ) > 0 {
+		q := r.decodeQ[0]
+		r.decodeQ = r.decodeQ[1:]
+		if sm.expired(q) {
+			sm.abort(q)
+			continue
+		}
+		steps := q.decode - 1 - q.stepsDone
+		if steps > sm.cfg.PreemptSteps {
+			steps = sm.cfg.PreemptSteps
+		}
+		dur, err := sm.quantumSeconds(q, steps)
+		if err != nil {
+			return err
+		}
+		// A relayout window may still hold the lane: the quantum is
+		// reserved now and starts when the weights are back.
+		start := sm.now
+		if r.pimFreeAt > start {
+			start = r.pimFreeAt
+		}
+		r.pimBusy = true
+		sm.busyPIM++
+		sm.pimBusySecs += dur
+		sm.push(&event{at: start + dur, kind: evQuantumDone, q: q, rep: ri, steps: steps})
+	}
+	return nil
+}
+
+// onQuantumDone finishes one decode quantum: tokens are emitted, the
+// query completes or rejoins the queue, and the lane picks its next
+// quantum.
+func (sm *sim) onQuantumDone(q *query, ri int, steps int) error {
+	r := &sm.reps[ri]
+	if sm.cfg.Mode == Serial {
+		if err := sm.emitTokens(q, q.firstToken, steps); err != nil {
+			return err
+		}
+		return sm.completeSerial(q, ri)
+	}
+	// Recover the quantum's start: its steps ran back-to-back ending
+	// now (quantumSeconds is memoized, so the recompute is cheap).
+	dur, err := sm.quantumSeconds(q, steps)
+	if err != nil {
+		return err
+	}
+	if err := sm.emitTokens(q, sm.now-dur, steps); err != nil {
+		return err
+	}
+	r.pimBusy = false
+	sm.busyPIM--
+	if q.stepsDone >= q.decode-1 {
+		sm.complete(q)
+	} else {
+		r.decodeQ = append(r.decodeQ, q)
+	}
+	return sm.dispatchDecode(ri)
+}
+
+// complete retires a cooperative-mode query.
+func (sm *sim) complete(q *query) {
+	sm.m.Completed++
+	sm.inSystem--
+	ttlt := q.prevToken - q.arrival
+	sm.ttlts = append(sm.ttlts, ttlt)
+	if sm.cfg.DeadlineTTLT == 0 || ttlt <= sm.cfg.DeadlineTTLT {
+		sm.m.SLOMet++
+	}
+}
+
+// completeSerial retires a serial-mode query and frees the whole device.
+func (sm *sim) completeSerial(q *query, ri int) error {
+	r := &sm.reps[ri]
+	r.socBusy, r.pimBusy = false, false
+	sm.busySoC--
+	sm.busyPIM--
+	sm.complete(q)
+	return sm.dispatchPrefills()
+}
+
+// finish reduces the collected samples into the Metrics.
+func (sm *sim) finish() Metrics {
+	m := &sm.m
+	m.TTFT = stats.QuantilesOf(sm.ttfts)
+	m.TTLT = stats.QuantilesOf(sm.ttlts)
+	m.TBT = stats.QuantilesOf(sm.tbts)
+	m.Makespan = sm.now
+	if m.Makespan > 0 {
+		m.ThroughputQPS = float64(m.Completed) / m.Makespan
+		m.GoodputQPS = float64(m.SLOMet) / m.Makespan
+		rs := float64(sm.cfg.Replicas) * m.Makespan
+		m.SoCUtilization = sm.socBusySecs / rs
+		m.PIMUtilization = sm.pimBusySecs / rs
+	}
+	return *m
+}

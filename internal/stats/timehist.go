@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// TimeHist accumulates a piecewise-constant signal (queue depth, busy
+// lane count) weighted by how long each value was held, so summaries
+// reflect *time at a level* rather than *number of transitions*. The
+// event-driven serving simulator feeds it one (value, duration) pair per
+// inter-event interval.
+type TimeHist struct {
+	values  []float64
+	weights []float64
+	total   float64
+	max     float64
+	sum     float64 // integral of value*dt
+}
+
+// Add records that the signal held value for duration seconds. Zero or
+// negative durations are ignored (zero-width intervals carry no weight).
+func (h *TimeHist) Add(value, duration float64) {
+	if duration <= 0 {
+		return
+	}
+	h.values = append(h.values, value)
+	h.weights = append(h.weights, duration)
+	h.total += duration
+	h.sum += value * duration
+	if value > h.max {
+		h.max = value
+	}
+}
+
+// TotalTime returns the summed duration.
+func (h *TimeHist) TotalTime() float64 { return h.total }
+
+// Mean returns the time-weighted mean (0 when nothing was recorded).
+func (h *TimeHist) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / h.total
+}
+
+// Max returns the largest recorded value (0 when empty).
+func (h *TimeHist) Max() float64 { return h.max }
+
+// Percentile returns the value below which the signal spent p percent of
+// the time (time-weighted percentile, 0 <= p <= 100).
+func (h *TimeHist) Percentile(p float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	idx := make([]int, len(h.values))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return h.values[idx[a]] < h.values[idx[b]] })
+	target := p / 100 * h.total
+	var acc float64
+	for _, i := range idx {
+		acc += h.weights[i]
+		if acc >= target {
+			return h.values[i]
+		}
+	}
+	return h.values[idx[len(idx)-1]]
+}
+
+// Bins histograms the time spent at each level into `bins` equal-width
+// buckets over [lo, hi); out-of-range time is dropped, mirroring
+// Histogram's convention.
+func (h *TimeHist) Bins(lo, hi float64, bins int) []float64 {
+	out := make([]float64, bins)
+	if bins == 0 || hi <= lo {
+		return out
+	}
+	w := (hi - lo) / float64(bins)
+	for i, v := range h.values {
+		if v < lo || v >= hi {
+			continue
+		}
+		out[int((v-lo)/w)] += h.weights[i]
+	}
+	return out
+}
+
+// String renders a compact summary.
+func (h *TimeHist) String() string {
+	return fmt.Sprintf("time=%.3fs mean=%.3f p50=%.3f p95=%.3f max=%.3f",
+		h.total, h.Mean(), h.Percentile(50), h.Percentile(95), h.max)
+}
+
+// Quantiles bundles the common percentiles of a plain sample slice; a
+// small convenience for the serving metrics.
+type Quantiles struct {
+	Mean, P50, P95, P99 float64
+}
+
+// QuantilesOf summarizes xs (zeros for empty input).
+func QuantilesOf(xs []float64) Quantiles {
+	return Quantiles{
+		Mean: Mean(xs),
+		P50:  Percentile(xs, 50),
+		P95:  Percentile(xs, 95),
+		P99:  Percentile(xs, 99),
+	}
+}
+
+// IsZero reports whether no samples contributed.
+func (q Quantiles) IsZero() bool {
+	return q.Mean == 0 && q.P50 == 0 && q.P95 == 0 && q.P99 == 0
+}
+
+// Finite reports whether every field is a finite number — a guard the
+// simulator's metrics tests use.
+func (q Quantiles) Finite() bool {
+	for _, v := range []float64{q.Mean, q.P50, q.P95, q.P99} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
