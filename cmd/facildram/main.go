@@ -11,6 +11,11 @@
 //	facildram -gen random -n 100000 -rate 0.5
 //	facildram -trace accesses.txt -mapping row:rank:bank:column:channel
 //	facildram -platform macbook -gen sequential -bytes 33554432 -window 64
+//	facildram -gen random -n 100000 -traceout counters.json
+//
+// -traceout FILE records per-channel scheduler counters (row hits and
+// misses, reads/writes, activations, refresh markers) as Chrome
+// trace-event JSON viewable in Perfetto (see internal/obs).
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 
 	"facil/internal/addr"
 	"facil/internal/dram"
+	"facil/internal/obs"
 	"facil/internal/soc"
 	"facil/internal/trace"
 )
@@ -39,6 +45,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random: PRNG seed")
 		window    = flag.Int("window", 0, "FR-FCFS reorder window (0 = default)")
 		noRefresh = flag.Bool("norefresh", false, "disable refresh")
+		traceOut  = flag.String("traceout", "", "write per-channel counter trace (Chrome trace-event JSON) to this file")
 	)
 	flag.Parse()
 
@@ -77,18 +84,23 @@ func main() {
 	}
 
 	reqs := trace.ToRequests(entries, m)
-	if *noRefresh {
-		// MeasureStreamWindow builds its own controller; emulate
-		// no-refresh via a manual run.
+	if *noRefresh || *traceOut != "" {
+		// MeasureStreamWindow builds its own controller; run manually
+		// when refresh must be disabled or a tracer attached.
 		ctl, err := dram.NewController(spec)
 		if err != nil {
 			fatal(err)
 		}
-		ctl.SetRefreshEnabled(false)
+		ctl.SetRefreshEnabled(!*noRefresh)
 		if *window > 0 {
 			for i := 0; i < spec.Geometry.Channels; i++ {
 				ctl.Channel(i).SetWindow(*window)
 			}
+		}
+		var tr *obs.Tracer
+		if *traceOut != "" {
+			tr = obs.New(0)
+			ctl.SetTracer(tr, 0)
 		}
 		for _, r := range reqs {
 			if err := ctl.Enqueue(r); err != nil {
@@ -97,6 +109,12 @@ func main() {
 		}
 		cycles := ctl.Drain()
 		report(spec, *mapLayout, len(reqs), cycles, ctl.Stats())
+		if tr != nil {
+			if err := tr.WriteFile(*traceOut); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("trace:         %s (%d events, %d dropped)\n", *traceOut, tr.Len(), tr.Dropped())
+		}
 		return
 	}
 	res, err := dram.MeasureStreamWindow(spec, reqs, *window)

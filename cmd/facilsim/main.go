@@ -3,11 +3,30 @@
 //
 // Usage:
 //
-//	facilsim [-list] [-par N] [-v] [-queries N] [-seed S] [-scale K] [experiment ...]
+//	facilsim [-list] [-par N] [-v] [-format table|csv|json] [-trace FILE]
+//	         [-o DIR] [-id LIST] [-queries N] [-seed S] [-scale K] [experiment ...]
 //
 // With no arguments every experiment runs in DESIGN.md order. Experiment
 // identifiers: fig2a fig2b fig3 fig6 tab1 tab2 tab3 fig13 fig14 fig15
 // fig16 maxmap ablations cosched quant pimstyle energy serving serving2.
+// -id accepts the same identifiers as a comma-separated list and merges
+// with positional arguments.
+//
+// Output selection:
+//
+//   - -format table (default) streams aligned-text tables in
+//     command-line order, byte-identical at any parallelism.
+//   - -format csv streams each table as CSV preceded by a `# title` line.
+//   - -format json emits one Report document at the end: a run manifest
+//     (git revision, seed, environment, wall time) plus every
+//     experiment's tables as structured data. See EXPERIMENTS.md
+//     "Machine-readable output" for the schema.
+//   - -o DIR additionally writes per-experiment files (<id>.txt/.csv/
+//     .json according to -format) plus manifest.json into DIR.
+//   - -trace FILE records a Chrome trace-event timeline of the
+//     trace-aware experiments (serving2 lane occupancy, queue depth,
+//     admissions) — load it at https://ui.perfetto.dev. -tracebuf bounds
+//     the in-memory event ring.
 //
 // serving2 (the event-driven cooperative serving extension) accepts
 // -rates, -replicas and -modes as comma-separated sweep lists plus
@@ -16,22 +35,29 @@
 // -par N bounds the worker pool: independent experiment identifiers run
 // concurrently, and each ported experiment additionally fans its sweep
 // points out over up to N workers (0, the default, selects GOMAXPROCS;
-// 1 forces fully serial runs). Output is streamed in command-line order
-// and is byte-identical at any parallelism. -v reports per-experiment
-// sweep progress on stderr. SIGINT/SIGTERM cancel all in-flight
-// experiments promptly.
+// 1 forces fully serial runs). -v reports per-experiment sweep progress
+// on stderr. SIGINT/SIGTERM cancel all in-flight experiments promptly.
 //
-// A failing experiment no longer aborts the run: remaining identifiers
-// still execute, the failures are summarized on stderr at the end, and
-// the exit status is non-zero.
+// Profiling: -cpuprofile/-memprofile write pprof profiles; -pprof ADDR
+// serves net/http/pprof on ADDR (e.g. localhost:6060) for live
+// inspection of long sweeps.
+//
+// A failing experiment does not abort the run: remaining identifiers
+// still execute, the failures are summarized on stderr at the end
+// (and in the JSON report's manifest), and the exit status is non-zero.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -41,14 +67,26 @@ import (
 	"facil/internal/dram"
 	"facil/internal/engine"
 	"facil/internal/exp"
+	"facil/internal/obs"
 	"facil/internal/parallel"
 	"facil/internal/serve"
 	"facil/internal/workload"
 )
 
 func main() {
+	os.Exit(mainErr())
+}
+
+// mainErr is main with an exit code, so deferred profile/trace writers
+// run before the process exits.
+func mainErr() int {
 	list := flag.Bool("list", false, "list experiment identifiers and exit")
-	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned text tables")
+	format := flag.String("format", "table", "output format: table, csv or json")
+	csvOut := flag.Bool("csv", false, "deprecated alias for -format csv")
+	outDir := flag.String("o", "", "write per-experiment result files plus manifest.json into this directory")
+	idList := flag.String("id", "", "comma-separated experiment identifiers (merged with positional arguments)")
+	traceFile := flag.String("trace", "", "write a Chrome trace-event timeline of trace-aware experiments to this file")
+	traceBuf := flag.Int("tracebuf", obs.DefaultCapacity, "trace ring-buffer capacity in events (oldest evicted on overflow)")
 	par := flag.Int("par", 0, "max concurrent sweep workers (0 = GOMAXPROCS, 1 = serial)")
 	verbose := flag.Bool("v", false, "report sweep progress on stderr")
 	queries := flag.Int("queries", 0, "dataset experiments: queries per dataset (0 = default)")
@@ -59,6 +97,9 @@ func main() {
 	modes := flag.String("modes", "", "serving2: comma-separated modes (serial, cooperative, relayout-hybrid)")
 	queueCap := flag.Int("queuecap", -1, "serving2: admission queue capacity (0 = unbounded, -1 = default)")
 	slo := flag.Float64("slo", -1, "serving2: TTLT goodput deadline in seconds (0 = none, -1 = default)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: facilsim [flags] [experiment ...]\n\nexperiments: %s\n\n",
 			strings.Join(exp.AllIDs, " "))
@@ -70,18 +111,80 @@ func main() {
 		for _, id := range exp.AllIDs {
 			fmt.Println(id)
 		}
-		return
+		return 0
+	}
+	if *csvOut {
+		*format = "csv"
+	}
+	switch *format {
+	case "table", "csv", "json":
+	default:
+		fmt.Fprintf(os.Stderr, "facilsim: unknown -format %q (want table, csv or json)\n", *format)
+		return 2
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "facilsim: -cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "facilsim: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "facilsim: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "facilsim: -memprofile: %v\n", err)
+			}
+		}()
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "facilsim: -pprof: %v\n", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	ids := flag.Args()
+	for _, id := range strings.Split(*idList, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			ids = append(ids, id)
+		}
+	}
 	if len(ids) == 0 {
 		ids = exp.AllIDs
 	}
+
+	manifest := obs.NewManifest("facilsim", os.Args[1:])
+	manifest.Seed = *seed
+	manifest.Parallelism = *par
+	manifest.Experiments = ids
+
 	lab := exp.NewLab(engine.DefaultConfig())
 	lab.SetParallelism(*par)
+	var tracer *obs.Tracer
+	if *traceFile != "" {
+		tracer = obs.New(*traceBuf)
+		lab.SetTracer(tracer)
+	}
 	ov := overrides{
 		queries: *queries, seed: *seed, scale: *scale,
 		rates: *rates, replicas: *replicas, modes: *modes,
@@ -96,19 +199,92 @@ func main() {
 		})
 	}
 
-	// Experiment identifiers run concurrently on the same worker bound as
-	// the per-experiment sweeps; results stream in command-line order. A
-	// point never returns an error to the sweep — failures are captured
-	// per identifier so one bad experiment cannot cancel the others.
-	type outcome struct {
-		tabs    []exp.Table
-		err     error
-		elapsed time.Duration
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "facilsim: -o: %v\n", err)
+			return 1
+		}
 	}
-	results := make([]outcome, len(ids))
-	ready := make([]chan struct{}, len(ids))
-	for i := range ready {
-		ready[i] = make(chan struct{})
+
+	results := runAll(ctx, lab, ids, ov, *par)
+
+	// Consume results in command-line order: stream (table/csv), collect
+	// for the report (json), and mirror into -o files.
+	var report exp.Report
+	var failed []string
+	for i, id := range ids {
+		<-results[i].ready
+		res := results[i].res
+		if res.Error != "" {
+			fmt.Fprintf(os.Stderr, "facilsim: %s: %s\n", id, res.Error)
+			failed = append(failed, id)
+		}
+		report.Results = append(report.Results, res)
+		if res.Error == "" {
+			if err := emitStdout(*format, res); err != nil {
+				fmt.Fprintf(os.Stderr, "facilsim: %s: %v\n", id, err)
+				failed = append(failed, id)
+				continue
+			}
+		}
+		if *outDir != "" && res.Error == "" {
+			if err := writeResultFile(*outDir, *format, res); err != nil {
+				fmt.Fprintf(os.Stderr, "facilsim: %s: %v\n", id, err)
+				failed = append(failed, id)
+			}
+		}
+	}
+
+	manifest.Failed = failed
+	manifest.WallSeconds = time.Since(manifest.Start).Seconds()
+	report.Manifest = manifest
+	if *format == "json" {
+		if err := report.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "facilsim: %v\n", err)
+			return 1
+		}
+	}
+	if *outDir != "" {
+		if err := writeManifest(*outDir, manifest); err != nil {
+			fmt.Fprintf(os.Stderr, "facilsim: manifest: %v\n", err)
+			return 1
+		}
+	}
+	if tracer != nil {
+		if err := tracer.WriteFile(*traceFile); err != nil {
+			fmt.Fprintf(os.Stderr, "facilsim: -trace: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "facilsim: trace: %s (%d events, %d dropped)\n",
+			*traceFile, tracer.Len(), tracer.Dropped())
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "facilsim: DRAM totals: %d stream replays, %d requests, %d cycles\n",
+			dram.Global.Streams(), dram.Global.Requests(), dram.Global.Cycles())
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "facilsim: %d of %d experiments failed: %s\n",
+			len(failed), len(ids), strings.Join(failed, " "))
+		return 1
+	}
+	return 0
+}
+
+// pending is one experiment's future result: res is valid once ready is
+// closed.
+type pending struct {
+	ready chan struct{}
+	res   exp.Result
+}
+
+// runAll launches every identifier on a bounded worker pool and returns
+// the per-identifier futures. A failing experiment is captured in its
+// Result rather than cancelling the sweep, so one bad experiment cannot
+// take the others down.
+func runAll(ctx context.Context, lab *exp.Lab, ids []string, ov overrides, par int) []pending {
+	results := make([]pending, len(ids))
+	for i := range results {
+		results[i].ready = make(chan struct{})
 	}
 	idxs := make([]int, len(ids))
 	for i := range idxs {
@@ -119,57 +295,78 @@ func main() {
 		_, _ = parallel.Sweep(ctx, idxs, func(ctx context.Context, i int) (struct{}, error) {
 			start := time.Now()
 			tabs, err := run(ctx, lab, ids[i], ov)
-			results[i] = outcome{tabs: tabs, err: err, elapsed: time.Since(start)}
+			res := exp.Result{ID: ids[i], Tables: tabs, ElapsedSeconds: time.Since(start).Seconds()}
+			if err != nil {
+				res.Error = err.Error()
+				res.Tables = nil
+			}
+			results[i].res = res
 			finished[i] = true
-			close(ready[i])
+			close(results[i].ready)
 			return struct{}{}, nil
-		}, parallel.Workers(*par))
+		}, parallel.Workers(par))
 		// On cancellation some identifiers are never dispatched; release
 		// the printer with the context's error so it cannot block. Sweep
 		// has returned, so no worker still touches finished/results.
 		for i := range ids {
 			if !finished[i] {
-				results[i] = outcome{err: ctx.Err()}
-				close(ready[i])
+				results[i].res = exp.Result{ID: ids[i], Error: ctx.Err().Error()}
+				close(results[i].ready)
 			}
 		}
 	}()
+	return results
+}
 
-	var failed []string
-	for i, id := range ids {
-		<-ready[i]
-		res := results[i]
-		if res.err != nil {
-			fmt.Fprintf(os.Stderr, "facilsim: %s: %v\n", id, res.err)
-			failed = append(failed, id)
-			continue
+// emitStdout streams one successful result to stdout in the selected
+// format. JSON results are not streamed — they are bundled into the
+// final Report document instead.
+func emitStdout(format string, res exp.Result) error {
+	switch format {
+	case "table":
+		if err := res.WriteText(os.Stdout); err != nil {
+			return err
 		}
-		for _, t := range res.tabs {
-			if *csvOut {
-				fmt.Printf("# %s\n", t.Title)
-				if err := t.WriteCSV(os.Stdout); err != nil {
-					fmt.Fprintf(os.Stderr, "facilsim: %s: %v\n", id, err)
-					failed = append(failed, id)
-					break
-				}
-				fmt.Println()
-			} else {
-				fmt.Println(t.String())
-			}
-		}
-		if !*csvOut && res.err == nil {
-			fmt.Printf("[%s finished in %.1fs]\n\n", id, res.elapsed.Seconds())
-		}
+		fmt.Printf("[%s finished in %.1fs]\n\n", res.ID, res.ElapsedSeconds)
+	case "csv":
+		return res.WriteCSV(os.Stdout)
 	}
-	if *verbose {
-		fmt.Fprintf(os.Stderr, "facilsim: DRAM totals: %d stream replays, %d requests, %d cycles\n",
-			dram.Global.Streams(), dram.Global.Requests(), dram.Global.Cycles())
+	return nil
+}
+
+// writeResultFile mirrors one result into -o DIR as <id>.<ext>.
+func writeResultFile(dir, format string, res exp.Result) error {
+	ext := map[string]string{"table": "txt", "csv": "csv", "json": "json"}[format]
+	f, err := os.Create(filepath.Join(dir, res.ID+"."+ext))
+	if err != nil {
+		return err
 	}
-	if len(failed) > 0 {
-		fmt.Fprintf(os.Stderr, "facilsim: %d of %d experiments failed: %s\n",
-			len(failed), len(ids), strings.Join(failed, " "))
-		os.Exit(1)
+	defer f.Close()
+	switch format {
+	case "table":
+		err = res.WriteText(f)
+	case "csv":
+		err = res.WriteCSV(f)
+	case "json":
+		err = res.WriteJSON(f)
 	}
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// writeManifest writes the run manifest as DIR/manifest.json.
+func writeManifest(dir string, m obs.Manifest) error {
+	f, err := os.Create(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := m.WriteJSON(f); err != nil {
+		return err
+	}
+	return f.Close()
 }
 
 // overrides carries the command-line tweaks for the parameterizable

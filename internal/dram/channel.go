@@ -1,6 +1,10 @@
 package dram
 
-import "fmt"
+import (
+	"fmt"
+
+	"facil/internal/obs"
+)
 
 // ChannelStats aggregates per-channel scheduler statistics.
 //
@@ -89,7 +93,21 @@ type Channel struct {
 	shadow        []rank
 
 	stats ChannelStats
+
+	// tr, when non-nil, receives sampled counter events (row hits/
+	// misses, reads/writes, activations) every traceSampleEvery column
+	// commands plus an instant per refresh, on the tracePID track with
+	// cycle timestamps scaled by traceUSPerCycle.
+	tr             *obs.Tracer
+	tracePID       int64
+	traceUSPerCyc  float64
+	colSinceSample int
 }
+
+// traceSampleEvery is the counter sampling stride in column commands: a
+// sample every 64 bursts keeps trace volume ~1.5% of request volume
+// while still resolving row-locality phase changes.
+const traceSampleEvery = 64
 
 // RowPolicy selects what happens to a row after a column access.
 type RowPolicy int
@@ -139,6 +157,29 @@ func (c *Channel) SetWindow(w int) {
 		w = 1
 	}
 	c.window = w
+}
+
+// SetTracer attaches an observability tracer to the scheduler: counter
+// samples (row hits/misses, reads, writes, activations) are emitted on
+// the pid track every traceSampleEvery column commands, and each
+// all-bank refresh leaves an instant marker. usPerCycle converts
+// scheduler cycles to trace microseconds (Timing.Seconds(1)*1e6). A nil
+// tracer detaches; the disabled cost is one pointer test per command.
+func (c *Channel) SetTracer(tr *obs.Tracer, pid int64, usPerCycle float64) {
+	c.tr = tr
+	c.tracePID = pid
+	c.traceUSPerCyc = usPerCycle
+	c.colSinceSample = 0
+}
+
+// traceCounters emits one sample of every scheduler counter at cycle at.
+func (c *Channel) traceCounters(at int64) {
+	ts := float64(at) * c.traceUSPerCyc
+	c.tr.Counter(c.tracePID, "row hits", ts, float64(c.stats.RowHits))
+	c.tr.Counter(c.tracePID, "row misses", ts, float64(c.stats.RowMisses))
+	c.tr.Counter(c.tracePID, "reads", ts, float64(c.stats.Reads))
+	c.tr.Counter(c.tracePID, "writes", ts, float64(c.stats.Writes))
+	c.tr.Counter(c.tracePID, "activations", ts, float64(c.stats.Activations))
 }
 
 // Now returns the cycle of the most recently issued command.
@@ -227,6 +268,10 @@ func (c *Channel) step() {
 		for ri := range c.ranks {
 			if c.ranks[ri].refreshDue(c.now) {
 				c.ranks[ri].applyRefresh(c.now, c.t)
+				if c.tr != nil {
+					c.tr.InstantArg(c.tracePID, 0, "refresh",
+						float64(c.now)*c.traceUSPerCyc, "rank", float64(ri))
+				}
 			}
 		}
 	}
@@ -430,6 +475,13 @@ func (c *Channel) issue(cand candidate) {
 			c.stats.RowMisses++
 		} else {
 			c.stats.RowHits++
+		}
+		if c.tr != nil {
+			c.colSinceSample++
+			if c.colSinceSample >= traceSampleEvery {
+				c.colSinceSample = 0
+				c.traceCounters(at)
+			}
 		}
 		r.Done = done
 		if done > c.stats.LastDone {

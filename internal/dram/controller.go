@@ -1,6 +1,10 @@
 package dram
 
-import "fmt"
+import (
+	"fmt"
+
+	"facil/internal/obs"
+)
 
 // Controller drives all channels of a memory system. Channels are
 // independent at the command level (each has its own command/data bus), so
@@ -29,6 +33,19 @@ func (ctl *Controller) Spec() Spec { return ctl.spec }
 
 // Channel returns the scheduler for channel i.
 func (ctl *Controller) Channel(i int) *Channel { return ctl.channels[i] }
+
+// SetTracer attaches an observability tracer to every channel, naming
+// one trace process per channel at pids [pidBase, pidBase+Channels).
+// Cycle timestamps are converted to microseconds with the spec's burst
+// clock so DRAM counters align with wall-clock trace tracks.
+func (ctl *Controller) SetTracer(tr *obs.Tracer, pidBase int64) {
+	usPerCycle := ctl.spec.Timing.Seconds(1) * 1e6
+	for i, c := range ctl.channels {
+		pid := pidBase + int64(i)
+		tr.ProcessName(pid, fmt.Sprintf("%s channel %d", ctl.spec.Name, i))
+		c.SetTracer(tr, pid, usPerCycle)
+	}
+}
 
 // SetRefreshEnabled toggles refresh on every channel.
 func (ctl *Controller) SetRefreshEnabled(v bool) {

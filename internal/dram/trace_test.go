@@ -1,0 +1,138 @@
+package dram
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"facil/internal/obs"
+)
+
+// tracedDrain pushes n random requests through a traced controller and
+// returns the tracer plus the final stats snapshot.
+func tracedDrain(t *testing.T, n int) (*obs.Tracer, ChannelStats) {
+	t.Helper()
+	spec := smallSpec()
+	ctl, err := NewController(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.New(1 << 14)
+	ctl.SetTracer(tr, 0)
+	g := spec.Geometry
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < n; i++ {
+		req := &Request{
+			Addr: Addr{
+				Rank:   rng.Intn(g.RanksPerChannel),
+				Bank:   rng.Intn(g.BanksPerRank),
+				Row:    rng.Intn(256),
+				Column: rng.Intn(g.ColumnsPerRow()),
+			},
+			Write:   rng.Intn(4) == 0,
+			Arrival: int64(i),
+		}
+		if err := ctl.Enqueue(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctl.Drain()
+	return tr, ctl.Stats()
+}
+
+// TestChannelTraceCounters drives random traffic through a traced
+// channel and checks the emitted counter trace: valid trace-event JSON,
+// monotonic timestamps, non-decreasing counter series that stay
+// consistent with the final ChannelStats, and refresh instants.
+func TestChannelTraceCounters(t *testing.T) {
+	tr, stats := tracedDrain(t, 2000)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	last := -1.0
+	lastHit, lastMiss := -1.0, -1.0
+	samples, refreshes := 0, 0
+	for _, e := range tf.TraceEvents {
+		if e.Ph == "M" {
+			continue
+		}
+		if e.TS < last {
+			t.Fatalf("timestamps not monotonic: %v after %v", e.TS, last)
+		}
+		last = e.TS
+		switch {
+		case e.Ph == "C" && e.Name == "row hits":
+			samples++
+			if v, _ := e.Args["value"].(float64); v < lastHit {
+				t.Fatalf("row-hit counter decreased: %v after %v", v, lastHit)
+			} else {
+				lastHit = v
+			}
+		case e.Ph == "C" && e.Name == "row misses":
+			if v, _ := e.Args["value"].(float64); v < lastMiss {
+				t.Fatalf("row-miss counter decreased: %v after %v", v, lastMiss)
+			} else {
+				lastMiss = v
+			}
+		case e.Ph == "i" && e.Name == "refresh":
+			refreshes++
+		}
+	}
+	if samples == 0 {
+		t.Fatal("no row-hit counter samples recorded")
+	}
+	if refreshes == 0 {
+		t.Fatal("no refresh instants recorded (2000 random requests span several tREFI)")
+	}
+	if lastHit > float64(stats.RowHits) || lastMiss > float64(stats.RowMisses) {
+		t.Fatalf("trace counters exceed final stats: trace %v/%v vs stats %d/%d",
+			lastHit, lastMiss, stats.RowHits, stats.RowMisses)
+	}
+}
+
+// TestChannelTracerDoesNotPerturbSchedule pins that attaching a tracer
+// leaves the command schedule untouched: same completion cycle, same
+// stats as an untraced run.
+func TestChannelTracerDoesNotPerturbSchedule(t *testing.T) {
+	run := func(traced bool) (int64, ChannelStats) {
+		spec := smallSpec()
+		ctl, err := NewController(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if traced {
+			ctl.SetTracer(obs.New(1<<12), 0)
+		}
+		g := spec.Geometry
+		rng := rand.New(rand.NewSource(9))
+		for i := 0; i < 800; i++ {
+			req := &Request{Addr: Addr{
+				Rank: rng.Intn(g.RanksPerChannel), Bank: rng.Intn(g.BanksPerRank),
+				Row: rng.Intn(64), Column: rng.Intn(g.ColumnsPerRow()),
+			}, Arrival: int64(i)}
+			if err := ctl.Enqueue(req); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return ctl.Drain(), ctl.Stats()
+	}
+	plainDone, plainStats := run(false)
+	tracedDone, tracedStats := run(true)
+	if plainDone != tracedDone || plainStats != tracedStats {
+		t.Fatalf("tracer perturbed the schedule:\nplain  %d %+v\ntraced %d %+v",
+			plainDone, plainStats, tracedDone, tracedStats)
+	}
+}

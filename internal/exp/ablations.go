@@ -30,6 +30,7 @@ func (l *Lab) AblationRelayoutPolicy() (Table, error) {
 		return Table{}, err
 	}
 	tab := Table{
+		ID:     "ablations/relayout-policy",
 		Title:  "Ablation: hybrid re-layout policy, TTLT on Jetson (Llama3-8B)",
 		Header: []string{"prefill/decode", "on-demand", "all-at-once", "overhead"},
 		Notes: []string{
@@ -58,6 +59,7 @@ func (l *Lab) AblationRelayoutPolicy() (Table, error) {
 // sweep points.
 func (l *Lab) AblationDynamicThreshold(ctx context.Context) (Table, error) {
 	tab := Table{
+		ID:     "ablations/offload-threshold",
 		Title:  "Ablation: profiled prefill offload thresholds (SoC beats PIM at L >= threshold)",
 		Header: []string{"platform", "hybrid dynamic", "FACIL"},
 		Notes: []string{
@@ -120,6 +122,7 @@ func (l *Lab) AblationSchedulerWindow(ctx context.Context) (Table, error) {
 		return Table{}, err
 	}
 	tab := Table{
+		ID:     "ablations/scheduler-window",
 		Title:  "Ablation: FR-FCFS reorder window vs re-layout bandwidth (Jetson memory)",
 		Header: []string{"window", "bandwidth", "row hit rate"},
 	}
@@ -209,6 +212,7 @@ func (l *Lab) AblationRowPolicy(ctx context.Context) (Table, error) {
 		return Table{}, err
 	}
 	tab := Table{
+		ID:     "ablations/row-policy",
 		Title:  "Ablation: row-buffer policy vs traffic pattern (iPhone memory)",
 		Header: []string{"traffic", "open-row", "close-row (auto-precharge)"},
 		Notes: []string{
@@ -239,6 +243,7 @@ func (l *Lab) AblationConventionalMapping(ctx context.Context) (Table, error) {
 		"channel:bank:rank:row:column", // interleave at MSB: pathological
 	}
 	tab := Table{
+		ID:     "ablations/conventional-mapping",
 		Title:  "Ablation: conventional mapping choice vs sequential read bandwidth (Jetson memory)",
 		Header: []string{"mapping (MSB->LSB)", "bandwidth", "of peak"},
 		Notes: []string{
@@ -320,6 +325,7 @@ func AblationXORHashing() (Table, error) {
 		return Table{}, err
 	}
 	return Table{
+		ID:     "ablations/xor-hashing",
 		Title:  "Ablation: XOR bank hashing vs pathological stride bandwidth (iPhone memory)",
 		Header: []string{"conventional mapping", "bandwidth", "of peak"},
 		Rows: [][]string{
@@ -341,6 +347,7 @@ func (l *Lab) AblationGEMMStreams(ctx context.Context) (Table, error) {
 	p := soc.Jetson
 	op := soc.Linear{L: 16, In: 4096, Out: 4096, DTypeBytes: 2}
 	tab := Table{
+		ID:     "ablations/gemm-streams",
 		Title:  "Ablation: GEMM stream concurrency vs PIM-layout memory slowdown (Jetson)",
 		Header: []string{"streams", "memory slowdown"},
 		Notes: []string{
@@ -371,6 +378,7 @@ func (l *Lab) AblationGEMMStreams(ctx context.Context) (Table, error) {
 // builds its own (serial) lab, so intervals sweep independently.
 func (l *Lab) AblationMACInterval(ctx context.Context) (Table, error) {
 	tab := Table{
+		ID:     "ablations/mac-interval",
 		Title:  "Ablation: PIM MAC interval calibration (Jetson, Llama3-8B, 64+64 tokens)",
 		Header: []string{"MAC interval (burst cycles)", "internal BW", "PIM vs ideal NPU"},
 		Notes: []string{

@@ -16,6 +16,7 @@ func Cosched() (Table, error) {
 	spec := soc.IPhone.Spec // single-device scale, 4 channels; one is simulated
 	w := sched.DefaultWorkload()
 	tab := Table{
+		ID:    "cosched",
 		Title: "Extension: PIM / SoC co-scheduling on one shared channel (Sec. V-C discussion)",
 		Header: []string{
 			"policy", "PIM slowdown", "SoC mean latency", "SoC p99", "SoC slowdown",

@@ -84,6 +84,7 @@ func (l *Lab) Energy() (Table, error) {
 		}
 	}
 	tab := Table{
+		ID:     "energy",
 		Title:  "Extension: DRAM energy per decode token (Llama3-8B on Jetson, ctx 64)",
 		Header: []string{"design", "total", "interface", "array", "activate", "MAC", "background"},
 		Rows: [][]string{

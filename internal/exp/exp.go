@@ -13,17 +13,28 @@ import (
 
 	"facil/internal/engine"
 	"facil/internal/llm"
+	"facil/internal/obs"
 	"facil/internal/parallel"
 	"facil/internal/soc"
 )
 
-// Table is a rendered experiment result.
+// Table is a rendered experiment result: the typed row/column model
+// every experiment produces, rendered as aligned text (String), CSV
+// (WriteCSV) or JSON (the struct marshals directly; see EXPERIMENTS.md
+// "Machine-readable output" for the schema).
 type Table struct {
-	Title  string
-	Header []string
-	Rows   [][]string
+	// ID is a stable machine-readable slug ("fig13", "fig14/jetson",
+	// "ablations/row-policy") identifying the table across runs; the
+	// text renderer ignores it.
+	ID string `json:"id,omitempty"`
+	// Title is the human-readable heading.
+	Title string `json:"title"`
+	// Header names the columns.
+	Header []string `json:"header"`
+	// Rows holds the rendered cells, row-major.
+	Rows [][]string `json:"rows"`
 	// Notes carries caveats (scaling, substitutions).
-	Notes []string
+	Notes []string `json:"notes,omitempty"`
 }
 
 // String renders the table with aligned columns.
@@ -97,6 +108,7 @@ type Lab struct {
 	cfg      engine.Config
 	par      int
 	progress ProgressFunc
+	tracer   *obs.Tracer
 
 	mu      sync.Mutex
 	systems map[string]*systemEntry
@@ -125,6 +137,15 @@ func (l *Lab) Parallelism() int { return l.par }
 
 // SetProgress installs a progress observer for every sweep (nil disables).
 func (l *Lab) SetProgress(fn ProgressFunc) { l.progress = fn }
+
+// SetTracer attaches an observability tracer the tracing-aware
+// experiments (serving2) record their timelines into; nil (the
+// default) disables tracing. Like the other knobs, configure it before
+// the first Run. The tracer is safe for concurrent sweep points.
+func (l *Lab) SetTracer(tr *obs.Tracer) { l.tracer = tr }
+
+// Tracer returns the configured tracer (nil = tracing off).
+func (l *Lab) Tracer() *obs.Tracer { return l.tracer }
 
 // System returns (building on first use) the shared stack for a
 // platform. The returned System is goroutine-safe; sweep points of the

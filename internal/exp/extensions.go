@@ -17,6 +17,7 @@ import (
 // whether FACIL's advantage survives. Not a paper figure.
 func Quant() (Table, error) {
 	tab := Table{
+		ID:    "quant",
 		Title: "Extension: FACIL under weight quantization (Jetson, Llama3-8B architecture)",
 		Header: []string{
 			"precision", "weights", "decode step (PIM)", "hybrid TTFT P32",
@@ -73,6 +74,7 @@ func PIMStyle() (Table, error) {
 	spec := soc.IPhone.Spec
 	mc := mapping.MemoryConfig{Geometry: spec.Geometry, HugePageBytes: 2 << 20}
 	tab := Table{
+		ID:    "pimstyle",
 		Title: "Extension: AiM-style vs HBM-PIM-style chunks on the iPhone memory system",
 		Header: []string{
 			"style", "chunk (rows x cols fp16)", "min MapID", "PIM mappings",

@@ -74,6 +74,7 @@ func (l *Lab) Fig13(ctx context.Context) (Table, error) {
 		return Table{}, err
 	}
 	tab := Table{
+		ID:     "fig13",
 		Title:  "Fig. 13: TTFT speedup of FACIL over SoC-PIM hybrid baseline",
 		Header: []string{"platform"},
 		Notes: []string{

@@ -60,6 +60,7 @@ func (l *Lab) Fig14(ctx context.Context, platform soc.Platform) (Table, error) {
 		return Table{}, err
 	}
 	tab := Table{
+		ID:     "fig14/" + slug(platform.Name),
 		Title:  fmt.Sprintf("Fig. 14: TTLT speedup of FACIL over hybrid baseline (%s)", platform.Name),
 		Header: []string{"prefill \\ decode"},
 		Notes: []string{

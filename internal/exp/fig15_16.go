@@ -125,8 +125,9 @@ func (l *Lab) EvalDataset(ctx context.Context, p soc.Platform, spec workload.Spe
 // datasetTable renders either the TTFT (Fig. 15) or TTLT (Fig. 16) view.
 // Platforms evaluate as sweep points of their own (each fanning out its
 // queries), with rows reducing in platform order.
-func (l *Lab) datasetTable(ctx context.Context, spec workload.Spec, cfg DatasetConfig, ttft bool, title, note string) (Table, error) {
+func (l *Lab) datasetTable(ctx context.Context, spec workload.Spec, cfg DatasetConfig, ttft bool, id, title, note string) (Table, error) {
 	tab := Table{
+		ID:     id + "/" + slug(spec.Name),
 		Title:  title,
 		Header: []string{"platform"},
 		Notes:  []string{note},
@@ -160,14 +161,14 @@ func (l *Lab) datasetTable(ctx context.Context, spec workload.Spec, cfg DatasetC
 
 // Fig15 renders the dataset TTFT comparison (speedup over hybrid static).
 func (l *Lab) Fig15(ctx context.Context, spec workload.Spec, cfg DatasetConfig) (Table, error) {
-	return l.datasetTable(ctx, spec, cfg, true,
+	return l.datasetTable(ctx, spec, cfg, true, "fig15",
 		fmt.Sprintf("Fig. 15: normalized TTFT speedup on %s", spec.Name),
 		"paper geomeans: FACIL 2.37x (Alpaca), 2.63x (code autocompletion) over hybrid static")
 }
 
 // Fig16 renders the dataset TTLT comparison.
 func (l *Lab) Fig16(ctx context.Context, spec workload.Spec, cfg DatasetConfig) (Table, error) {
-	return l.datasetTable(ctx, spec, cfg, false,
+	return l.datasetTable(ctx, spec, cfg, false, "fig16",
 		fmt.Sprintf("Fig. 16: normalized TTLT speedup on %s", spec.Name),
 		"paper: FACIL TTLT 1.20x over hybrid static; 3.55x/3.58x over SoC-only")
 }

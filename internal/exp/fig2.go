@@ -49,6 +49,7 @@ func (l *Lab) Fig2a() (Table, error) {
 	total := linear + b.AttentionSeconds + b.OtherSeconds
 
 	tab := Table{
+		ID:     "fig2a",
 		Title:  "Fig. 2(a): decode step time breakdown (Llama3-8B on Jetson SoC, ctx 64)",
 		Header: []string{"component", "time", "share"},
 	}
@@ -83,6 +84,7 @@ func (l *Lab) Fig2b() (Table, error) {
 		{"14336x4096 (down)", m.Intermediate, m.Hidden},
 	}
 	tab := Table{
+		ID:     "fig2b",
 		Title:  "Fig. 2(b): GEMV compute vs memory utilization (Jetson)",
 		Header: []string{"GEMV dim", "compute util", "memory BW util"},
 	}

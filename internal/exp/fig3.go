@@ -55,6 +55,7 @@ func (l *Lab) Fig3() (Table, error) {
 		return Table{}, err
 	}
 	return Table{
+		ID:     "fig3",
 		Title:  "Fig. 3: PIM potential for decode (Llama3-8B on Jetson, 64+64 tokens)",
 		Header: []string{"executor", "decode time", "speedup vs GPU"},
 		Rows: [][]string{

@@ -49,6 +49,7 @@ func (l *Lab) Fig6() (Table, error) {
 		return Table{}, err
 	}
 	tab := Table{
+		ID:     "fig6",
 		Title:  "Fig. 6: TTFT increase due to re-layout (Llama3-8B on Jetson)",
 		Header: []string{"prefill len", "TTFT w/o re-layout", "TTFT w/ re-layout", "increase"},
 		Notes: []string{

@@ -12,6 +12,7 @@ import (
 // plus the paper's worst case (Sec. IV-B formula).
 func MaxMapID() (Table, error) {
 	tab := Table{
+		ID:    "maxmap",
 		Title: "max(MapID) = log2(hugePage / (totalBanks * transferBytes)) per platform",
 		Header: []string{
 			"memory system", "total banks", "max MapID", "min MapID (AiM)",

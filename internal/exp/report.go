@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"facil/internal/obs"
+)
+
+// slug lowercases s and maps every non-alphanumeric run to one dash —
+// the stable table-ID form of platform and dataset names ("NVIDIA
+// Jetson AGX Orin 64GB" -> "nvidia-jetson-agx-orin-64gb").
+func slug(s string) string {
+	var b strings.Builder
+	dash := false
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			if dash && b.Len() > 0 {
+				b.WriteByte('-')
+			}
+			dash = false
+			b.WriteRune(r)
+		default:
+			dash = true
+		}
+	}
+	return b.String()
+}
+
+// Result is the machine-readable outcome of one experiment identifier:
+// the rendered tables plus run accounting. It marshals to the JSON
+// schema documented in EXPERIMENTS.md ("Machine-readable output").
+type Result struct {
+	// ID is the experiment identifier that was run ("fig13",
+	// "serving2", ...).
+	ID string `json:"id"`
+	// Tables are the experiment's rendered tables (one per platform or
+	// dataset for the multi-table experiments). Empty on error.
+	Tables []Table `json:"tables,omitempty"`
+	// ElapsedSeconds is the experiment's wall time.
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// Error is the failure message ("" = success).
+	Error string `json:"error,omitempty"`
+}
+
+// Report bundles one whole invocation: the reproducibility manifest
+// plus every experiment's Result in execution order. This is the
+// document `facilsim -format json` emits.
+type Report struct {
+	// Manifest records the code revision, environment, command line
+	// and wall time of the producing run.
+	Manifest obs.Manifest `json:"manifest"`
+	// Results holds one entry per experiment identifier, in the order
+	// they were requested.
+	Results []Result `json:"results"`
+}
+
+// WriteJSON serializes the report with indentation.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteJSON serializes one result with indentation (the per-experiment
+// file form of `facilsim -format json -o dir`).
+func (r Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteCSV emits every table of the result in CSV form, each preceded
+// by a `# <title>` comment line and separated by a blank line —
+// byte-identical to what `facilsim -format csv` streams per experiment.
+func (r Result) WriteCSV(w io.Writer) error {
+	for _, t := range r.Tables {
+		if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+			return err
+		}
+		if err := t.WriteCSV(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteText emits every table in the aligned-text form, each followed
+// by a blank line (the `-format table -o dir` file form).
+func (r Result) WriteText(w io.Writer) error {
+	for _, t := range r.Tables {
+		if _, err := fmt.Fprintln(w, t.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

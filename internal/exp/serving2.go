@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"facil/internal/engine"
+	"facil/internal/parallel"
 	"facil/internal/serve"
 	"facil/internal/soc"
 	"facil/internal/workload"
@@ -81,16 +82,30 @@ func serving2Points(cfg Serving2Config) []serving2Point {
 // Serving2Compute evaluates the full grid. Every point owns its arrival
 // process (the RNG is seeded inside serve.Run), so points are
 // independent sweep units and results are byte-identical at any
-// parallelism.
+// parallelism. When the lab carries a tracer, every point records its
+// timeline into it on a disjoint, deterministic pid block (labelled
+// "mode rate xreplicas" in the trace), so one Perfetto file shows the
+// whole sweep side by side.
 func (l *Lab) Serving2Compute(ctx context.Context, cfg Serving2Config) ([]serve.Metrics, error) {
 	s, err := l.System(soc.Jetson)
 	if err != nil {
 		return nil, err
 	}
-	return sweep(ctx, l, "serving2", serving2Points(cfg), func(ctx context.Context, pt serving2Point) (serve.Metrics, error) {
+	points := serving2Points(cfg)
+	// Pid blocks are assigned up front (replicas+1 tracks per point:
+	// the replicas plus the admission-queue counter), keeping traces
+	// deterministic at any sweep parallelism.
+	pidBase := make([]int64, len(points))
+	var next int64
+	for i, pt := range points {
+		pidBase[i] = next
+		next += int64(pt.replicas) + 1
+	}
+	return parallel.Sweep(ctx, indexes(len(points)), func(ctx context.Context, i int) (serve.Metrics, error) {
 		if err := ctx.Err(); err != nil {
 			return serve.Metrics{}, err
 		}
+		pt := points[i]
 		return serve.Run(s, serve.SimConfig{
 			Mode:         pt.mode,
 			Kind:         Serving2Kind(pt.mode),
@@ -102,8 +117,20 @@ func (l *Lab) Serving2Compute(ctx context.Context, cfg Serving2Config) ([]serve.
 			QueueCap:     cfg.QueueCap,
 			DeadlineTTLT: cfg.DeadlineTTLT,
 			PreemptSteps: cfg.PreemptSteps,
+			Tracer:       l.tracer,
+			TracePIDBase: pidBase[i],
+			TraceLabel:   fmt.Sprintf("%s %.2fq/s x%d", pt.mode, pt.rate, pt.replicas),
 		})
-	})
+	}, l.sweepOpts("serving2")...)
+}
+
+// indexes returns [0, 1, ..., n).
+func indexes(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
 }
 
 // Serving2 renders the cooperative-serving comparison table.
@@ -113,6 +140,7 @@ func (l *Lab) Serving2(ctx context.Context, cfg Serving2Config) (Table, error) {
 		return Table{}, err
 	}
 	tab := Table{
+		ID:    "serving2",
 		Title: "Extension: event-driven SoC/PIM cooperative serving (Jetson, " + cfg.Workload.Name + " traffic)",
 		Header: []string{
 			"mode", "rate", "replicas", "TTFT p50", "TTFT p99", "TBT p99",

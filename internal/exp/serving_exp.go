@@ -23,6 +23,7 @@ func (l *Lab) Serving(ctx context.Context) (Table, error) {
 	}
 	kinds := []engine.Kind{engine.SoCOnly, engine.HybridStatic, engine.HybridDynamic, engine.FACIL}
 	tab := Table{
+		ID:    "serving",
 		Title: "Extension: perceived latency under serving load (Jetson, Alpaca traffic)",
 		Header: []string{
 			"arrival rate", "design", "perceived TTFT (mean)", "perceived TTFT (p99)",

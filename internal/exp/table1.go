@@ -90,6 +90,7 @@ func (l *Lab) Table1(ctx context.Context, cfg Table1Config) (Table, error) {
 		return Table{}, err
 	}
 	tab := Table{
+		ID:     "tab1",
 		Title:  "Table I: LLM weight load time with huge pages under fragmentation",
 		Header: []string{"FMFI \\ free mem"},
 	}

@@ -9,6 +9,7 @@ import (
 // Table2 renders the platform specification table (paper Table II).
 func Table2() Table {
 	tab := Table{
+		ID:    "tab2",
 		Title: "Table II: evaluated platforms and models",
 		Header: []string{
 			"platform", "processor", "type", "peak TFLOPS (FP16)",

@@ -95,6 +95,7 @@ func (l *Lab) Table3(ctx context.Context, cfg soc.LayoutSlowdownConfig) (Table, 
 		return Table{}, err
 	}
 	tab := Table{
+		ID:     "tab3",
 		Title:  "Table III: GEMM slowdown on PIM-optimized layout",
 		Header: []string{"platform", "layer", "P4", "P16", "P64"},
 		Notes: []string{

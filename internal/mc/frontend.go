@@ -10,6 +10,7 @@ import (
 
 	"facil/internal/dram"
 	"facil/internal/mapping"
+	"facil/internal/obs"
 )
 
 // MuxesPerRequest is the number of N-to-1 multiplexer groups the frontend
@@ -69,6 +70,14 @@ func (f *Frontend) Controller() *dram.Controller { return f.ctl }
 
 // Table returns the mapping table (the mux inputs).
 func (f *Frontend) Table() *mapping.Table { return f.table }
+
+// SetTracer attaches an observability tracer to the backend controller:
+// every DRAM channel gets a counter track (row hits/misses, reads,
+// writes, activations, refresh markers) at pids from pidBase. See
+// dram.Controller.SetTracer.
+func (f *Frontend) SetTracer(tr *obs.Tracer, pidBase int64) {
+	f.ctl.SetTracer(tr, pidBase)
+}
 
 // Cost reports the added hardware.
 func (f *Frontend) Cost() HardwareCost {

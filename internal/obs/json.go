@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+)
+
+// jsonEvent is the wire form of one trace-event record.
+type jsonEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int64          `json:"pid"`
+	TID  int64          `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON Object Format of the trace-event spec, the shape
+// Perfetto and chrome://tracing load directly.
+type traceFile struct {
+	TraceEvents     []jsonEvent `json:"traceEvents"`
+	DisplayTimeUnit string      `json:"displayTimeUnit"`
+}
+
+// WriteJSON serializes the buffered trace in Chrome trace-event JSON
+// object format. Metadata (track names) is emitted first, then every
+// buffered event sorted by timestamp, so the file's event stream is
+// monotonic even though duration slices are recorded at their *end*
+// time. WriteJSON is a cold path: it allocates freely and may run while
+// recording continues (it works on a snapshot).
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	events := t.Snapshot()
+	sort.SliceStable(events, func(i, j int) bool { return events[i].TS < events[j].TS })
+	out := traceFile{DisplayTimeUnit: "ms", TraceEvents: make([]jsonEvent, 0, len(events)+t.metaLen())}
+	for _, m := range t.Metadata() {
+		out.TraceEvents = append(out.TraceEvents, jsonEvent{
+			Name: m.Name, Ph: string(PhaseMetadata), PID: m.PID, TID: m.TID,
+			Args: map[string]any{"name": m.Str},
+		})
+	}
+	for _, e := range events {
+		je := jsonEvent{Name: e.Name, Ph: string(e.Phase), TS: e.TS, PID: e.PID, TID: e.TID}
+		if e.Phase == PhaseComplete {
+			d := e.Dur
+			je.Dur = &d
+		}
+		if e.Phase == PhaseInstant {
+			je.S = "t" // thread-scoped marker
+		}
+		if e.ArgName != "" {
+			je.Args = map[string]any{e.ArgName: e.Arg}
+		}
+		out.TraceEvents = append(out.TraceEvents, je)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// metaLen returns the metadata count (0 for nil).
+func (t *Tracer) metaLen() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.meta)
+}
+
+// WriteFile writes the trace to path (0644), creating or truncating it.
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// Manifest captures everything needed to reproduce one tool invocation:
+// the code revision, the runtime environment, the command line, and the
+// run's wall time. facilsim writes it as manifest.json next to exported
+// results (and embeds it in -format json output), so a results directory
+// is self-describing.
+type Manifest struct {
+	// Tool names the producing binary (e.g. "facilsim").
+	Tool string `json:"tool"`
+	// SchemaVersion versions the export schema documented in
+	// EXPERIMENTS.md; consumers should reject unknown major versions.
+	SchemaVersion int `json:"schema_version"`
+	// GitRev is the VCS revision baked into the binary by the Go
+	// toolchain ("unknown" for non-VCS builds such as go run in tests).
+	GitRev string `json:"git_rev"`
+	// GitDirty marks a build from a modified working tree.
+	GitDirty bool `json:"git_dirty,omitempty"`
+	// GoVersion, OS and Arch describe the build and host.
+	GoVersion string `json:"go_version"`
+	// OS is the runtime operating system (GOOS).
+	OS string `json:"os"`
+	// Arch is the runtime architecture (GOARCH).
+	Arch string `json:"arch"`
+	// NumCPU and Maxprocs describe the host's parallelism envelope.
+	NumCPU int `json:"num_cpu"`
+	// Maxprocs is runtime.GOMAXPROCS at startup.
+	Maxprocs int `json:"gomaxprocs"`
+	// Args is the full command line (os.Args[1:]).
+	Args []string `json:"args"`
+	// Start is the invocation's start time; WallSeconds its duration.
+	Start time.Time `json:"start"`
+	// WallSeconds is the run's total wall-clock time in seconds.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Seed echoes the -seed override (0 = experiment defaults).
+	Seed int64 `json:"seed,omitempty"`
+	// Parallelism echoes -par (0 = GOMAXPROCS).
+	Parallelism int `json:"parallelism,omitempty"`
+	// Experiments lists the experiment IDs the invocation ran, and
+	// Failed the subset that returned errors.
+	Experiments []string `json:"experiments,omitempty"`
+	// Failed lists the experiment IDs that errored.
+	Failed []string `json:"failed,omitempty"`
+}
+
+// SchemaVersion is the current machine-readable export schema version
+// (see EXPERIMENTS.md "Machine-readable output").
+const SchemaVersion = 1
+
+// NewManifest fills a manifest with build/runtime facts: the VCS
+// revision and dirty bit from the binary's build info, Go version, OS,
+// architecture, CPU counts and the start timestamp.
+func NewManifest(tool string, args []string) Manifest {
+	m := Manifest{
+		Tool:          tool,
+		SchemaVersion: SchemaVersion,
+		GitRev:        "unknown",
+		GoVersion:     runtime.Version(),
+		OS:            runtime.GOOS,
+		Arch:          runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		Maxprocs:      runtime.GOMAXPROCS(0),
+		Args:          args,
+		Start:         time.Now(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				m.GitRev = s.Value
+			case "vcs.modified":
+				m.GitDirty = s.Value == "true"
+			}
+		}
+	}
+	return m
+}
+
+// WriteJSON serializes the manifest with indentation.
+func (m Manifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}

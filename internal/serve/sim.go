@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"facil/internal/engine"
+	"facil/internal/obs"
 	"facil/internal/stats"
 	"facil/internal/workload"
 )
@@ -91,6 +92,20 @@ type SimConfig struct {
 	// steps: after that many tokens the lane rotates to the next
 	// waiting query (round-robin). 0 selects DefaultPreemptSteps.
 	PreemptSteps int
+	// Tracer, when enabled, records the run's structured timeline —
+	// per-lane occupancy spans, queue-depth counters, admission/
+	// rejection/timeout instants and re-layout windows — in trace-event
+	// form (see internal/obs). A nil tracer costs one pointer test per
+	// instrumentation point and records nothing.
+	Tracer *obs.Tracer
+	// TracePIDBase offsets this run's trace process ids so several
+	// sweep points can share one tracer without colliding: the run uses
+	// pids [TracePIDBase, TracePIDBase+Replicas] — one per replica plus
+	// one for the admission-queue counter track.
+	TracePIDBase int64
+	// TraceLabel prefixes the run's trace track names (defaults to the
+	// mode name), letting sweep points identify themselves in Perfetto.
+	TraceLabel string
 }
 
 // DefaultPreemptSteps is the decode quantum when SimConfig leaves it 0.
@@ -196,6 +211,62 @@ type sim struct {
 	ttfts []float64
 	ttlts []float64
 	tbts  []float64
+
+	// tr is nil when tracing is off; pid0 is the first replica's trace
+	// pid and qpid the admission-queue counter track.
+	tr   *obs.Tracer
+	pid0 int64
+	qpid int64
+}
+
+// Trace lane (thread) ids within one replica's trace process, and the
+// seconds-to-trace-microseconds scale (trace-event timestamps are µs).
+const (
+	traceLaneSoC int64 = 0
+	traceLanePIM int64 = 1
+	traceUSPerS        = 1e6
+)
+
+// initTrace names the run's trace tracks: one process per replica (a SoC
+// and a PIM lane thread each) plus one admission-queue counter process.
+func (sm *sim) initTrace() {
+	label := sm.cfg.TraceLabel
+	if label == "" {
+		label = sm.cfg.Mode.String()
+	}
+	for ri := 0; ri < sm.cfg.Replicas; ri++ {
+		pid := sm.pid0 + int64(ri)
+		sm.tr.ProcessName(pid, fmt.Sprintf("%s replica %d", label, ri))
+		sm.tr.ThreadName(pid, traceLaneSoC, "SoC prefill lane")
+		sm.tr.ThreadName(pid, traceLanePIM, "PIM decode lane")
+	}
+	sm.tr.ProcessName(sm.qpid, label+" admission queue")
+}
+
+// traceSpan records one lane-occupancy slice (prefill, decode quantum,
+// re-layout window) tagged with the owning query.
+func (sm *sim) traceSpan(ri int, lane int64, name string, q *query, start, dur float64) {
+	if sm.tr == nil {
+		return
+	}
+	sm.tr.CompleteArg(sm.pid0+int64(ri), lane, name, start*traceUSPerS, dur*traceUSPerS, "query", float64(q.id))
+}
+
+// traceInstant records an admission-path marker (arrival, reject,
+// timeout, complete) on the queue track.
+func (sm *sim) traceInstant(name string, q *query) {
+	if sm.tr == nil {
+		return
+	}
+	sm.tr.InstantArg(sm.qpid, 0, name, sm.now*traceUSPerS, "query", float64(q.id))
+}
+
+// traceDepth samples the in-system query count after a transition.
+func (sm *sim) traceDepth() {
+	if sm.tr == nil {
+		return
+	}
+	sm.tr.Counter(sm.qpid, "in-system queries", sm.now*traceUSPerS, float64(sm.inSystem))
 }
 
 // Run simulates cfg.Queries through the two-lane replica fleet and
@@ -217,6 +288,12 @@ func Run(s *engine.System, cfg SimConfig) (Metrics, error) {
 		sys:  s,
 		reps: make([]replica, cfg.Replicas),
 		m:    Metrics{Mode: cfg.Mode, Kind: cfg.Kind, Replicas: cfg.Replicas},
+	}
+	if cfg.Tracer.Enabled() {
+		sm.tr = cfg.Tracer
+		sm.pid0 = cfg.TracePIDBase
+		sm.qpid = cfg.TracePIDBase + int64(cfg.Replicas)
+		sm.initTrace()
 	}
 	if cfg.Mode == RelayoutHybrid {
 		if sm.relay, err = s.RelayoutAllWeightsSeconds(); err != nil {
@@ -287,6 +364,7 @@ func (sm *sim) onArrival(q *query) error {
 	sm.m.Arrived++
 	if sm.cfg.QueueCap > 0 && sm.inSystem >= sm.cfg.QueueCap {
 		sm.m.Rejected++
+		sm.traceInstant("reject", q)
 		return nil
 	}
 	sm.m.Admitted++
@@ -294,6 +372,8 @@ func (sm *sim) onArrival(q *query) error {
 	if sm.inSystem > sm.m.MaxQueueDepth {
 		sm.m.MaxQueueDepth = sm.inSystem
 	}
+	sm.traceInstant("arrival", q)
+	sm.traceDepth()
 	sm.wait = append(sm.wait, q)
 	return sm.dispatchPrefills()
 }
@@ -307,6 +387,8 @@ func (sm *sim) expired(q *query) bool {
 func (sm *sim) abort(q *query) {
 	sm.m.TimedOut++
 	sm.inSystem--
+	sm.traceInstant("timeout", q)
+	sm.traceDepth()
 }
 
 // dispatchPrefills starts waiting queries on every free SoC lane. In
@@ -364,6 +446,7 @@ func (sm *sim) startPrefill(q *query, ri int) error {
 		sm.busyPIM++
 		sm.socBusySecs += ttlt
 		sm.pimBusySecs += ttlt
+		sm.traceSpan(ri, traceLaneSoC, "prefill", q, sm.now, ttft)
 		sm.push(&event{at: sm.now + ttft, kind: evPrefillDone, q: q, rep: ri})
 		return nil
 	default:
@@ -387,10 +470,12 @@ func (sm *sim) startPrefill(q *query, ri int) error {
 			if t := sm.now + sm.relay; t > r.pimFreeAt {
 				r.pimFreeAt = t
 			}
+			sm.traceSpan(ri, traceLanePIM, "relayout", q, sm.now, sm.relay)
 		}
 		r.socBusy = true
 		sm.busySoC++
 		sm.socBusySecs += pre
+		sm.traceSpan(ri, traceLaneSoC, "prefill", q, sm.now, pre)
 		sm.push(&event{at: sm.now + pre, kind: evPrefillDone, q: q, rep: ri})
 		return nil
 	}
@@ -501,6 +586,7 @@ func (sm *sim) onQuantumDone(q *query, ri int, steps int) error {
 		if err := sm.emitTokens(q, q.firstToken, steps); err != nil {
 			return err
 		}
+		sm.traceSpan(ri, traceLanePIM, "decode", q, q.firstToken, sm.now-q.firstToken)
 		return sm.completeSerial(q, ri)
 	}
 	// Recover the quantum's start: its steps ran back-to-back ending
@@ -512,6 +598,7 @@ func (sm *sim) onQuantumDone(q *query, ri int, steps int) error {
 	if err := sm.emitTokens(q, sm.now-dur, steps); err != nil {
 		return err
 	}
+	sm.traceSpan(ri, traceLanePIM, "decode", q, sm.now-dur, dur)
 	r.pimBusy = false
 	sm.busyPIM--
 	if q.stepsDone >= q.decode-1 {
@@ -531,6 +618,8 @@ func (sm *sim) complete(q *query) {
 	if sm.cfg.DeadlineTTLT == 0 || ttlt <= sm.cfg.DeadlineTTLT {
 		sm.m.SLOMet++
 	}
+	sm.traceInstant("complete", q)
+	sm.traceDepth()
 }
 
 // completeSerial retires a serial-mode query and frees the whole device.
