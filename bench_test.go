@@ -228,7 +228,10 @@ func BenchmarkFrontendTranslate(b *testing.B) {
 }
 
 func BenchmarkDRAMSequentialStream(b *testing.B) {
-	spec := dram.MustLPDDR5("bench", 16, 6400, 2, 256<<20)
+	spec, err := dram.LPDDR5("bench", 16, 6400, 2, 256<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
 	reqs := make([]*dram.Request, 0, 4096)
 	for row := 0; row < 4; row++ {
 		for bank := 0; bank < 16; bank++ {

@@ -16,6 +16,11 @@
 // -traceout FILE records per-channel scheduler counters (row hits and
 // misses, reads/writes, activations, refresh markers) as Chrome
 // trace-event JSON viewable in Perfetto (see internal/obs).
+//
+// -refreshmult M raises the refresh rate by M (tREFI divided by M), the
+// JEDEC response to high DRAM temperature; M=2 reproduces the thermal
+// throttle the serving simulator's fault layer measures its slowdown
+// from.
 package main
 
 import (
@@ -45,6 +50,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random: PRNG seed")
 		window    = flag.Int("window", 0, "FR-FCFS reorder window (0 = default)")
 		noRefresh = flag.Bool("norefresh", false, "disable refresh")
+		refMult   = flag.Float64("refreshmult", 1, "refresh-rate multiplier >= 1 (2 = temperature-doubled refresh, tREFI halved)")
 		traceOut  = flag.String("traceout", "", "write per-channel counter trace (Chrome trace-event JSON) to this file")
 	)
 	flag.Parse()
@@ -53,6 +59,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *refMult < 1 {
+		fatal(fmt.Errorf("-refreshmult must be >= 1, got %g", *refMult))
+	}
+	spec = spec.Derated(*refMult)
 	m, err := addr.FromLayout(spec.Geometry, *mapLayout)
 	if err != nil {
 		fatal(err)

@@ -8,9 +8,9 @@
 //
 // With no arguments every experiment runs in DESIGN.md order. Experiment
 // identifiers: fig2a fig2b fig3 fig6 tab1 tab2 tab3 fig13 fig14 fig15
-// fig16 maxmap ablations cosched quant pimstyle energy serving serving2.
-// -id accepts the same identifiers as a comma-separated list and merges
-// with positional arguments.
+// fig16 maxmap ablations cosched quant pimstyle energy serving serving2
+// resilience. -id accepts the same identifiers as a comma-separated list
+// and merges with positional arguments.
 //
 // Output selection:
 //
@@ -31,6 +31,12 @@
 // serving2 (the event-driven cooperative serving extension) accepts
 // -rates, -replicas and -modes as comma-separated sweep lists plus
 // -queuecap and -slo for the admission bound and TTLT goodput deadline.
+//
+// resilience (the fault-injection extension) additionally accepts
+// -faults (comma-separated lane MTBFs in seconds — the fault-rate
+// axis), -faultseed (the fault-scenario seed) and -policy
+// (comma-separated degradation policies: none, soc-fallback, failover);
+// -modes, -queuecap and -slo apply as for serving2.
 //
 // -par N bounds the worker pool: independent experiment identifiers run
 // concurrently, and each ported experiment additionally fans its sweep
@@ -95,8 +101,11 @@ func mainErr() int {
 	rates := flag.String("rates", "", "serving2: comma-separated arrival rates in q/s (empty = default)")
 	replicas := flag.String("replicas", "", "serving2: comma-separated replica counts (empty = default)")
 	modes := flag.String("modes", "", "serving2: comma-separated modes (serial, cooperative, relayout-hybrid)")
-	queueCap := flag.Int("queuecap", -1, "serving2: admission queue capacity (0 = unbounded, -1 = default)")
-	slo := flag.Float64("slo", -1, "serving2: TTLT goodput deadline in seconds (0 = none, -1 = default)")
+	queueCap := flag.Int("queuecap", -1, "serving2/resilience: admission queue capacity (0 = unbounded, -1 = default)")
+	slo := flag.Float64("slo", -1, "serving2/resilience: TTLT goodput deadline in seconds (0 = none, -1 = default)")
+	faults := flag.String("faults", "", "resilience: comma-separated lane MTBFs in seconds (empty = default)")
+	faultSeed := flag.Int64("faultseed", 0, "resilience: fault-scenario seed (0 = default)")
+	policy := flag.String("policy", "", "resilience: comma-separated degradation policies (none, soc-fallback, failover)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -189,6 +198,7 @@ func mainErr() int {
 		queries: *queries, seed: *seed, scale: *scale,
 		rates: *rates, replicas: *replicas, modes: *modes,
 		queueCap: *queueCap, slo: *slo,
+		faults: *faults, faultSeed: *faultSeed, policy: *policy,
 	}
 	if *verbose {
 		var mu sync.Mutex
@@ -379,6 +389,9 @@ type overrides struct {
 	modes       string
 	queueCap    int
 	slo         float64
+	faults      string
+	faultSeed   int64
+	policy      string
 }
 
 // run dispatches one experiment, honoring the override flags for the
@@ -405,6 +418,16 @@ func run(ctx context.Context, lab *exp.Lab, id string, ov overrides) ([]exp.Tabl
 			return nil, err
 		}
 		t, err := lab.Serving2(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []exp.Table{t}, nil
+	case "resilience":
+		cfg := exp.DefaultResilienceConfig()
+		if err := applyResilienceOverrides(&cfg, ov); err != nil {
+			return nil, err
+		}
+		t, err := lab.Resilience(ctx, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -474,6 +497,56 @@ func applyServing2Overrides(cfg *exp.Serving2Config, ov overrides) error {
 				return fmt.Errorf("bad -replicas entry %q", f)
 			}
 			cfg.Replicas = append(cfg.Replicas, n)
+		}
+	}
+	if ov.modes != "" {
+		cfg.Modes = cfg.Modes[:0]
+		for _, f := range strings.Split(ov.modes, ",") {
+			m, err := serve.ParseMode(strings.TrimSpace(f))
+			if err != nil {
+				return err
+			}
+			cfg.Modes = append(cfg.Modes, m)
+		}
+	}
+	return nil
+}
+
+// applyResilienceOverrides folds the fault-sweep flags into the config.
+func applyResilienceOverrides(cfg *exp.ResilienceConfig, ov overrides) error {
+	if ov.queries > 0 {
+		cfg.Queries = ov.queries
+	}
+	if ov.seed != 0 {
+		cfg.Seed = ov.seed
+	}
+	if ov.faultSeed != 0 {
+		cfg.FaultSeed = ov.faultSeed
+	}
+	if ov.queueCap >= 0 {
+		cfg.QueueCap = ov.queueCap
+	}
+	if ov.slo >= 0 {
+		cfg.DeadlineTTLT = ov.slo
+	}
+	if ov.faults != "" {
+		cfg.LaneMTBFs = cfg.LaneMTBFs[:0]
+		for _, f := range strings.Split(ov.faults, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil || v <= 0 {
+				return fmt.Errorf("bad -faults entry %q (want a positive MTBF in seconds)", f)
+			}
+			cfg.LaneMTBFs = append(cfg.LaneMTBFs, v)
+		}
+	}
+	if ov.policy != "" {
+		cfg.Policies = cfg.Policies[:0]
+		for _, f := range strings.Split(ov.policy, ",") {
+			p, err := serve.ParsePolicy(strings.TrimSpace(f))
+			if err != nil {
+				return err
+			}
+			cfg.Policies = append(cfg.Policies, p)
 		}
 	}
 	if ov.modes != "" {

@@ -11,7 +11,10 @@ import (
 
 func testFacil(t *testing.T) *Facil {
 	t.Helper()
-	spec := dram.MustLPDDR5("core test", 64, 6400, 2, 2<<30) // 4ch x 2rk x 16ba
+	spec, err := dram.LPDDR5("core test", 64, 6400, 2, 2<<30) // 4ch x 2rk x 16ba
+	if err != nil {
+		t.Fatal(err)
+	}
 	f, err := New(spec, Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -194,7 +197,10 @@ func TestGEMVThroughCore(t *testing.T) {
 }
 
 func TestOptionsOverrides(t *testing.T) {
-	spec := dram.MustLPDDR5("core opts", 64, 6400, 2, 2<<30)
+	spec, err := dram.LPDDR5("core opts", 64, 6400, 2, 2<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cfg := pim.DefaultHBMPIM(spec.Geometry)
 	f, err := New(spec, Options{PIM: &cfg, TLBSets: 8, TLBWays: 2})
 	if err != nil {

@@ -1,0 +1,11 @@
+package dram
+
+import "errors"
+
+// ErrConfig is the sentinel wrapped by every configuration-validation
+// error of the package (Geometry.Validate, Timing.Validate,
+// Spec.Validate and the spec constructors). Callers branch with
+// errors.Is(err, ErrConfig) to distinguish recoverable configuration
+// mistakes from simulator-internal failures; nothing in the package
+// panics on bad configuration.
+var ErrConfig = errors.New("dram: invalid configuration")

@@ -42,7 +42,9 @@ type Geometry struct {
 }
 
 // Validate reports an error if any field is non-positive or not a power of
-// two where the address-mapping machinery requires one.
+// two where the address-mapping machinery requires one. Errors wrap
+// ErrConfig, so callers can recover from configuration mistakes instead
+// of crashing.
 func (g Geometry) Validate() error {
 	type field struct {
 		name string
@@ -59,14 +61,14 @@ func (g Geometry) Validate() error {
 	}
 	for _, f := range fields {
 		if f.v <= 0 {
-			return fmt.Errorf("dram: geometry field %s must be positive, got %d", f.name, f.v)
+			return fmt.Errorf("%w: geometry field %s must be positive, got %d", ErrConfig, f.name, f.v)
 		}
 		if f.pow2 && f.v&(f.v-1) != 0 {
-			return fmt.Errorf("dram: geometry field %s must be a power of two, got %d", f.name, f.v)
+			return fmt.Errorf("%w: geometry field %s must be a power of two, got %d", ErrConfig, f.name, f.v)
 		}
 	}
 	if g.TransferBytes > g.RowBytes {
-		return fmt.Errorf("dram: TransferBytes %d exceeds RowBytes %d", g.TransferBytes, g.RowBytes)
+		return fmt.Errorf("%w: TransferBytes %d exceeds RowBytes %d", ErrConfig, g.TransferBytes, g.RowBytes)
 	}
 	return nil
 }
@@ -123,12 +125,11 @@ func (g Geometry) AddressBits() int {
 		g.ColumnBits() + g.OffsetBits()
 }
 
-// log2 returns the base-2 logarithm of a positive power of two.
-// It panics for other inputs; callers validate geometry first.
+// log2 returns the floor base-2 logarithm of v, and 0 for v < 1. It is
+// total: power-of-two-ness is a Geometry.Validate concern (every
+// constructor and the controller validate before use), not a reason to
+// crash address arithmetic.
 func log2(v int) int {
-	if v <= 0 || v&(v-1) != 0 {
-		panic(fmt.Sprintf("dram: log2 of non-power-of-two %d", v))
-	}
 	n := 0
 	for v > 1 {
 		v >>= 1

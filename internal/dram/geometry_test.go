@@ -1,6 +1,7 @@
 package dram
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -124,11 +125,32 @@ func TestGlobalBankBijectionProperty(t *testing.T) {
 	}
 }
 
-func TestLog2Panics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("log2(3) did not panic")
+func TestLog2Total(t *testing.T) {
+	// log2 is total (floor semantics): non-power-of-two geometry is a
+	// Validate error, never a crash.
+	for _, tc := range []struct{ v, want int }{
+		{-4, 0}, {0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3}, {1 << 20, 20},
+	} {
+		if got := log2(tc.v); got != tc.want {
+			t.Errorf("log2(%d) = %d, want %d", tc.v, got, tc.want)
 		}
-	}()
-	log2(3)
+	}
+}
+
+func TestValidateWrapsErrConfig(t *testing.T) {
+	g := Geometry{Channels: 3, RanksPerChannel: 2, BanksPerRank: 16, Rows: 1 << 14, RowBytes: 2048, TransferBytes: 32}
+	err := g.Validate()
+	if err == nil {
+		t.Fatal("non-power-of-two channel count validated")
+	}
+	if !errors.Is(err, ErrConfig) {
+		t.Fatalf("geometry error %v does not wrap ErrConfig", err)
+	}
+	if _, err := LPDDR5("bad", 16, 6400, 2, 100); !errors.Is(err, ErrConfig) {
+		t.Fatalf("LPDDR5 constructor error %v does not wrap ErrConfig", err)
+	}
+	bad := Timing{CycleNS: -1}
+	if err := bad.Validate(); !errors.Is(err, ErrConfig) {
+		t.Fatalf("timing error %v does not wrap ErrConfig", err)
+	}
 }

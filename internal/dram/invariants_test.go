@@ -36,7 +36,10 @@ func randomTraffic(spec Spec, n int, seed int64) []*Request {
 // TestDataBusExclusive: per channel, the data-bus slots implied by the
 // completion times never collide — one burst per cycle.
 func TestDataBusExclusive(t *testing.T) {
-	spec := MustLPDDR5("inv", 32, 6400, 2, 512<<20) // 2 channels
+	spec, err := LPDDR5("inv", 32, 6400, 2, 512<<20) // 2 channels
+	if err != nil {
+		t.Fatal(err)
+	}
 	reqs := randomTraffic(spec, 3000, 11)
 	ctl, err := NewController(spec)
 	if err != nil {
@@ -73,7 +76,10 @@ func TestDataBusExclusive(t *testing.T) {
 // TestCompletionAfterArrival: no request finishes before its arrival plus
 // the minimum pipeline latency.
 func TestCompletionAfterArrival(t *testing.T) {
-	spec := MustLPDDR5("inv2", 16, 6400, 2, 256<<20)
+	spec, err := LPDDR5("inv2", 16, 6400, 2, 256<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
 	reqs := randomTraffic(spec, 2000, 13)
 	ctl, _ := NewController(spec)
 	for _, r := range reqs {
@@ -97,7 +103,10 @@ func TestCompletionAfterArrival(t *testing.T) {
 // hits+misses equals the data commands for any traffic mix.
 func TestStatsConservation(t *testing.T) {
 	f := func(seed int64, nSeed uint8) bool {
-		spec := MustLPDDR5("inv3", 16, 6400, 2, 256<<20)
+		spec, err := LPDDR5("inv3", 16, 6400, 2, 256<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
 		n := int(nSeed)%500 + 10
 		reqs := randomTraffic(spec, n, seed)
 		ctl, err := NewController(spec)
@@ -121,7 +130,10 @@ func TestStatsConservation(t *testing.T) {
 // TestBankRowExclusiveUnderMACs: all-bank MACs never issue closer than
 // the configured interval on a rank.
 func TestBankRowExclusiveUnderMACs(t *testing.T) {
-	spec := MustLPDDR5("inv4", 16, 6400, 2, 256<<20)
+	spec, err := LPDDR5("inv4", 16, 6400, 2, 256<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ch := NewChannel(&spec)
 	ch.SetRefreshEnabled(false)
 	if _, err := ch.AllBankACT(0, 0); err != nil {
@@ -144,7 +156,10 @@ func TestBankRowExclusiveUnderMACs(t *testing.T) {
 // TestDualRowBufferIsolation: with dual row buffers, PIM activity leaves
 // the SoC-visible bank state untouched.
 func TestDualRowBufferIsolation(t *testing.T) {
-	spec := MustLPDDR5("inv5", 16, 6400, 2, 256<<20)
+	spec, err := LPDDR5("inv5", 16, 6400, 2, 256<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ch := NewChannel(&spec)
 	ch.SetRefreshEnabled(false)
 	// Open an SoC row via the queue.
@@ -177,7 +192,10 @@ func TestDualRowBufferIsolation(t *testing.T) {
 // bank with an open SoC row is rejected until precharge — the interference
 // the co-scheduler must manage.
 func TestSingleRowBufferConflict(t *testing.T) {
-	spec := MustLPDDR5("inv6", 16, 6400, 2, 256<<20)
+	spec, err := LPDDR5("inv6", 16, 6400, 2, 256<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ch := NewChannel(&spec)
 	ch.SetRefreshEnabled(false)
 	if err := ch.Enqueue(&Request{Addr: Addr{Bank: 3, Row: 7}}); err != nil {

@@ -17,7 +17,8 @@ type Spec struct {
 	ChannelWidthBits int
 }
 
-// Validate checks geometry and timing together.
+// Validate checks geometry and timing together. Errors wrap ErrConfig
+// (directly or through the field validators).
 func (s Spec) Validate() error {
 	if err := s.Geometry.Validate(); err != nil {
 		return fmt.Errorf("spec %q: %w", s.Name, err)
@@ -26,10 +27,10 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("spec %q: %w", s.Name, err)
 	}
 	if s.DataRateMbps <= 0 {
-		return fmt.Errorf("spec %q: DataRateMbps must be positive", s.Name)
+		return fmt.Errorf("%w: spec %q: DataRateMbps must be positive", ErrConfig, s.Name)
 	}
 	if s.ChannelWidthBits <= 0 {
-		return fmt.Errorf("spec %q: ChannelWidthBits must be positive", s.Name)
+		return fmt.Errorf("%w: spec %q: ChannelWidthBits must be positive", ErrConfig, s.Name)
 	}
 	return nil
 }
@@ -58,7 +59,7 @@ func LPDDR5(name string, busWidthBits, dataRateMbps, ranksPerChannel int, capaci
 	const transferBytes = 32 // BL16 x16
 	const banksPerRank = 16
 	if busWidthBits%channelWidth != 0 {
-		return Spec{}, fmt.Errorf("dram: LPDDR5 bus width %d not a multiple of %d", busWidthBits, channelWidth)
+		return Spec{}, fmt.Errorf("%w: LPDDR5 bus width %d not a multiple of %d", ErrConfig, busWidthBits, channelWidth)
 	}
 	channels := busWidthBits / channelWidth
 	g := Geometry{
@@ -71,7 +72,7 @@ func LPDDR5(name string, busWidthBits, dataRateMbps, ranksPerChannel int, capaci
 	perBank := capacityBytes / int64(g.Channels*g.RanksPerChannel*g.BanksPerRank)
 	rows := perBank / rowBytes
 	if rows <= 0 || rows&(rows-1) != 0 {
-		return Spec{}, fmt.Errorf("dram: capacity %d does not yield a power-of-two row count (got %d rows/bank)", capacityBytes, rows)
+		return Spec{}, fmt.Errorf("%w: capacity %d does not yield a power-of-two row count (got %d rows/bank)", ErrConfig, capacityBytes, rows)
 	}
 	g.Rows = int(rows)
 	cyc := burstCycleNS(transferBytes, channelWidth, dataRateMbps)
@@ -88,11 +89,14 @@ func LPDDR5(name string, busWidthBits, dataRateMbps, ranksPerChannel int, capaci
 	return s, nil
 }
 
-// MustLPDDR5 is LPDDR5 that panics on error; for package-level presets.
-func MustLPDDR5(name string, busWidthBits, dataRateMbps, ranksPerChannel int, capacityBytes int64) Spec {
+// presetLPDDR5 builds a package-level preset without panicking: a
+// mis-declared preset yields a named-but-invalid Spec whose first use
+// fails Spec.Validate (every consumer validates), so configuration
+// errors stay recoverable instead of crashing process init.
+func presetLPDDR5(name string, busWidthBits, dataRateMbps, ranksPerChannel int, capacityBytes int64) Spec {
 	s, err := LPDDR5(name, busWidthBits, dataRateMbps, ranksPerChannel, capacityBytes)
 	if err != nil {
-		panic(err)
+		return Spec{Name: name}
 	}
 	return s
 }
@@ -114,7 +118,7 @@ func HBM2(name string, channels, dataRateMbps int, capacityBytes int64) (Spec, e
 	perBank := capacityBytes / int64(g.Channels*g.BanksPerRank)
 	rows := perBank / rowBytes
 	if rows <= 0 || rows&(rows-1) != 0 {
-		return Spec{}, fmt.Errorf("dram: capacity %d does not yield a power-of-two row count", capacityBytes)
+		return Spec{}, fmt.Errorf("%w: capacity %d does not yield a power-of-two row count", ErrConfig, capacityBytes)
 	}
 	g.Rows = int(rows)
 	cyc := burstCycleNS(transferBytes, channelWidth, dataRateMbps)
@@ -138,14 +142,14 @@ const GiB = int64(1) << 30
 var (
 	// JetsonOrinLPDDR5 is a 256-bit LPDDR5-6400, 64 GB, 2 ranks/channel
 	// system (NVIDIA Jetson AGX Orin 64GB, 204.8 GB/s peak).
-	JetsonOrinLPDDR5 = MustLPDDR5("LPDDR5-6400 256-bit (Jetson AGX Orin)", 256, 6400, 2, 64*GiB)
+	JetsonOrinLPDDR5 = presetLPDDR5("LPDDR5-6400 256-bit (Jetson AGX Orin)", 256, 6400, 2, 64*GiB)
 	// MacbookLPDDR5 is a 512-bit LPDDR5-6400, 64 GB system
 	// (Apple MacBook Pro M3 Max, 409.6 GB/s peak).
-	MacbookLPDDR5 = MustLPDDR5("LPDDR5-6400 512-bit (MacBook Pro M3 Max)", 512, 6400, 2, 64*GiB)
+	MacbookLPDDR5 = presetLPDDR5("LPDDR5-6400 512-bit (MacBook Pro M3 Max)", 512, 6400, 2, 64*GiB)
 	// IdeaPadLPDDR5X is a 64-bit LPDDR5X-7467, 32 GB system
 	// (Lenovo IdeaPad Slim 5, 59.7 GB/s peak).
-	IdeaPadLPDDR5X = MustLPDDR5("LPDDR5X-7467 64-bit (IdeaPad Slim 5)", 64, 7467, 2, 32*GiB)
+	IdeaPadLPDDR5X = presetLPDDR5("LPDDR5X-7467 64-bit (IdeaPad Slim 5)", 64, 7467, 2, 32*GiB)
 	// IPhoneLPDDR5 is a 64-bit LPDDR5-6400, 8 GB system
 	// (Apple iPhone 15 Pro, 51.2 GB/s peak).
-	IPhoneLPDDR5 = MustLPDDR5("LPDDR5-6400 64-bit (iPhone 15 Pro)", 64, 6400, 2, 8*GiB)
+	IPhoneLPDDR5 = presetLPDDR5("LPDDR5-6400 64-bit (iPhone 15 Pro)", 64, 6400, 2, 8*GiB)
 )

@@ -1,0 +1,65 @@
+package dram
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDerated(t *testing.T) {
+	spec, err := LPDDR5("thermal base", 16, 6400, 2, 256<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := spec.Derated(2)
+	if d.Timing.TREFI >= spec.Timing.TREFI {
+		t.Fatalf("Derated(2) TREFI %d not below nominal %d", d.Timing.TREFI, spec.Timing.TREFI)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("derated spec invalid: %v", err)
+	}
+	if !strings.Contains(d.Name, "refresh x2") {
+		t.Fatalf("derated name %q does not mark the derate", d.Name)
+	}
+	if spec.Derated(1) != spec {
+		t.Fatal("Derated(1) must be the identity")
+	}
+	// Extreme multipliers clamp TREFI so ranks still make progress.
+	x := spec.Derated(1e9)
+	if x.Timing.TREFI <= x.Timing.TRFCab {
+		t.Fatalf("clamped TREFI %d does not exceed TRFCab %d", x.Timing.TREFI, x.Timing.TRFCab)
+	}
+}
+
+func TestThrottleFactorMeasured(t *testing.T) {
+	spec, err := LPDDR5("thermal measure", 16, 6400, 2, 256<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := ThrottleFactor(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2 <= 1 {
+		t.Fatalf("doubled refresh measured no slowdown: factor %g", f2)
+	}
+	if f2 > 1.5 {
+		t.Fatalf("doubled refresh factor %g implausibly large", f2)
+	}
+	f4, err := ThrottleFactor(spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f4 <= f2 {
+		t.Fatalf("refresh x4 factor %g not above x2 factor %g", f4, f2)
+	}
+	again, err := ThrottleFactor(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != f2 {
+		t.Fatalf("memoized factor %g != first measurement %g", again, f2)
+	}
+	if f, err := ThrottleFactor(spec, 1); err != nil || f != 1 {
+		t.Fatalf("mult 1 = (%g, %v), want (1, nil)", f, err)
+	}
+}

@@ -49,9 +49,10 @@ type Timing struct {
 }
 
 // Validate reports an error for non-physical parameter combinations.
+// Errors wrap ErrConfig.
 func (t Timing) Validate() error {
 	if t.CycleNS <= 0 {
-		return fmt.Errorf("dram: CycleNS must be positive, got %g", t.CycleNS)
+		return fmt.Errorf("%w: CycleNS must be positive, got %g", ErrConfig, t.CycleNS)
 	}
 	nonNeg := map[string]int{
 		"TRCD": t.TRCD, "TRP": t.TRP, "TRAS": t.TRAS, "TRC": t.TRC,
@@ -61,14 +62,14 @@ func (t Timing) Validate() error {
 	}
 	for name, v := range nonNeg {
 		if v < 0 {
-			return fmt.Errorf("dram: timing %s must be non-negative, got %d", name, v)
+			return fmt.Errorf("%w: timing %s must be non-negative, got %d", ErrConfig, name, v)
 		}
 	}
 	if t.TCCD < 1 {
-		return fmt.Errorf("dram: TCCD must be >= 1 burst cycle, got %d", t.TCCD)
+		return fmt.Errorf("%w: TCCD must be >= 1 burst cycle, got %d", ErrConfig, t.TCCD)
 	}
 	if t.TRC < t.TRAS+t.TRP {
-		return fmt.Errorf("dram: TRC (%d) < TRAS+TRP (%d)", t.TRC, t.TRAS+t.TRP)
+		return fmt.Errorf("%w: TRC (%d) < TRAS+TRP (%d)", ErrConfig, t.TRC, t.TRAS+t.TRP)
 	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"facil/internal/serve"
 	"facil/internal/soc"
 	"facil/internal/workload"
 )
@@ -69,6 +70,7 @@ func TestGoldenTables(t *testing.T) {
 		}},
 		{"tab3", true, func() (Table, error) { return l.Table3(ctx, soc.LayoutSlowdownConfig{}) }},
 		{"serving2_small", false, func() (Table, error) { return l.Serving2(ctx, goldenServing2Config()) }},
+		{"resilience_small", false, func() (Table, error) { return l.Resilience(ctx, goldenResilienceConfig()) }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -82,6 +84,16 @@ func TestGoldenTables(t *testing.T) {
 			checkGolden(t, tc.name, tab.String())
 		})
 	}
+}
+
+// goldenResilienceConfig keeps the resilience golden cheap: one mode,
+// one hostile fault rate, all three policies.
+func goldenResilienceConfig() ResilienceConfig {
+	cfg := DefaultResilienceConfig()
+	cfg.Queries = 40
+	cfg.Modes = []serve.Mode{serve.Cooperative}
+	cfg.LaneMTBFs = []float64{15}
+	return cfg
 }
 
 // TestServing2Deterministic renders the serving2 table serially, again
@@ -105,5 +117,58 @@ func TestServing2Deterministic(t *testing.T) {
 	}
 	if par := render(8); par != serial {
 		t.Errorf("par 8 differs from serial:\n%s\nvs\n%s", serial, par)
+	}
+}
+
+// TestResilienceDeterministic is the acceptance criterion of the fault
+// sweep: the same seed and scenario render byte-identically at -par 1
+// and -par 8 (stochastic fault schedules included — every cell owns its
+// fault RNGs).
+func TestResilienceDeterministic(t *testing.T) {
+	cfg := goldenResilienceConfig()
+	render := func(par int) string {
+		l := freshLab()
+		l.SetParallelism(par)
+		tab, err := l.Resilience(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("par %d: %v", par, err)
+		}
+		return tab.String()
+	}
+	serial := render(1)
+	if again := render(1); again != serial {
+		t.Errorf("repeated serial runs differ:\n%s\nvs\n%s", serial, again)
+	}
+	if par := render(8); par != serial {
+		t.Errorf("par 8 differs from serial:\n%s\nvs\n%s", serial, par)
+	}
+}
+
+// TestResilienceMonotone asserts the degradation story on every (mode,
+// MTBF) block of the default grid: under one fault schedule, failover
+// preserves at least as many in-SLO completions as SoC-only
+// degradation, which preserves at least as many as no policy at all.
+func TestResilienceMonotone(t *testing.T) {
+	cfg := DefaultResilienceConfig()
+	mets, err := testLab().ResilienceCompute(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := resiliencePoints(cfg)
+	slo := map[resiliencePoint]int{}
+	for i, m := range mets {
+		slo[points[i]] = m.SLOMet
+	}
+	for _, mode := range cfg.Modes {
+		for _, mtbf := range cfg.LaneMTBFs {
+			at := func(p serve.Policy) int {
+				return slo[resiliencePoint{mode: mode, policy: p, mtbf: mtbf}]
+			}
+			none, fb, fo := at(serve.PolicyNone), at(serve.PolicySoCFallback), at(serve.PolicyFailover)
+			if !(fo >= fb && fb >= none) {
+				t.Errorf("%s mtbf %g: SLO completions not monotone: failover %d, fallback %d, none %d",
+					mode, mtbf, fo, fb, none)
+			}
+		}
 	}
 }

@@ -112,6 +112,9 @@ var registry = map[string]runner{
 	"serving2": onectx(func(l *Lab, ctx context.Context) (Table, error) {
 		return l.Serving2(ctx, DefaultServing2Config())
 	}),
+	"resilience": onectx(func(l *Lab, ctx context.Context) (Table, error) {
+		return l.Resilience(ctx, DefaultResilienceConfig())
+	}),
 	"maxmap": func(ctx context.Context, l *Lab) ([]Table, error) {
 		t, err := MaxMapID()
 		if err != nil {
@@ -157,5 +160,5 @@ var AllIDs = []string{
 	"tab1", "tab2", "tab3",
 	"fig13", "fig14", "fig15", "fig16",
 	"maxmap", "ablations",
-	"cosched", "quant", "pimstyle", "energy", "serving", "serving2",
+	"cosched", "quant", "pimstyle", "energy", "serving", "serving2", "resilience",
 }

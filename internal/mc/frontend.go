@@ -6,12 +6,22 @@
 package mc
 
 import (
+	"errors"
 	"fmt"
 
 	"facil/internal/dram"
 	"facil/internal/mapping"
 	"facil/internal/obs"
 )
+
+// ErrBadMapID is the sentinel wrapped by Access (and ValidateMapID)
+// when a request carries a MapID outside the mapping table — e.g. a
+// corrupted PTE bit (paper Fig. 11 stores the ID in repurposed PTE
+// bits, so a single flipped bit yields a plausible-looking but wrong
+// selector). The frontend refuses to silently translate garbage;
+// callers either repair the PTE (page-table re-walk) or opt into the
+// accounted degrade-to-conventional mode (SetDegradeOnBadMapID).
+var ErrBadMapID = errors.New("mc: bad MapID")
 
 // MuxesPerRequest is the number of N-to-1 multiplexer groups the frontend
 // needs: one each for the channel, rank, bank, column and row fields.
@@ -39,6 +49,12 @@ type Frontend struct {
 	// perMapID counts requests per mapping for diagnostics.
 	perMapID map[mapping.MapID]int64
 	seq      int64
+
+	// degrade selects the bad-MapID policy: reject (false, default) or
+	// translate under the conventional mapping with accounting (true).
+	degrade bool
+	// badMapIDs counts requests that failed MapID validation.
+	badMapIDs int64
 }
 
 // NewFrontend wires a mapping table to a fresh DRAM controller. The
@@ -89,19 +105,59 @@ func (f *Frontend) Cost() HardwareCost {
 	return HardwareCost{Mappings: n, MuxGroups: MuxesPerRequest, MapIDBits: bits}
 }
 
+// ValidateMapID checks that id selects a mux input that actually
+// exists: the conventional mapping or a PIM mapping inside the table's
+// range. Anything else wraps ErrBadMapID.
+func (f *Frontend) ValidateMapID(id mapping.MapID) error {
+	if id == mapping.ConventionalMapID {
+		return nil
+	}
+	if min, max := f.table.Range(); id >= min && id <= max {
+		return nil
+	}
+	min, max := f.table.Range()
+	return fmt.Errorf("%w: MapID %d outside {conventional, [%d, %d]}", ErrBadMapID, id, min, max)
+}
+
+// SetDegradeOnBadMapID selects the frontend's bad-MapID policy: when
+// enabled, a request failing ValidateMapID is served under the
+// conventional mapping (losing its PIM locality but staying correct at
+// the byte level) and counted in BadMapIDs and in the owning channel's
+// stats; when disabled (the default), Access rejects it with
+// ErrBadMapID.
+func (f *Frontend) SetDegradeOnBadMapID(on bool) { f.degrade = on }
+
+// BadMapIDs returns the number of requests that failed MapID validation
+// (rejected or degraded, depending on the policy).
+func (f *Frontend) BadMapIDs() int64 { return f.badMapIDs }
+
 // Translate performs the mux selection: the MapID picks the mapping, which
-// splits the physical address into DRAM coordinates.
+// splits the physical address into DRAM coordinates. Out-of-range IDs
+// fall back to the conventional mapping (the table's mux default);
+// Access is the validating entry point.
 func (f *Frontend) Translate(phys uint64, id mapping.MapID) dram.Addr {
 	a, _ := f.table.Lookup(id).Translate(phys)
 	return a
 }
 
 // Access enqueues one burst access. The caller provides the physical
-// address and MapID exactly as the paper's page-table entry delivers them.
-// The returned request carries the completion cycle after Drain.
+// address and MapID exactly as the paper's page-table entry delivers
+// them. The MapID is validated on every request: an ID outside the
+// mapping table returns ErrBadMapID (wrapped), or — with
+// SetDegradeOnBadMapID(true) — is served under the conventional mapping
+// and accounted in BadMapIDs plus the channel's stats. The returned
+// request carries the completion cycle after Drain.
 func (f *Frontend) Access(phys uint64, id mapping.MapID, write bool, arrival int64) (*dram.Request, error) {
 	if phys >= uint64(f.spec.Geometry.CapacityBytes()) {
 		return nil, fmt.Errorf("mc: physical address %#x outside capacity", phys)
+	}
+	bad := f.ValidateMapID(id)
+	if bad != nil {
+		f.badMapIDs++
+		if !f.degrade {
+			return nil, bad
+		}
+		id = mapping.ConventionalMapID
 	}
 	f.seq++
 	req := &dram.Request{
@@ -112,6 +168,9 @@ func (f *Frontend) Access(phys uint64, id mapping.MapID, write bool, arrival int
 	}
 	if err := f.ctl.Enqueue(req); err != nil {
 		return nil, err
+	}
+	if bad != nil {
+		f.ctl.Channel(req.Addr.Channel).NoteBadMapID()
 	}
 	f.perMapID[id]++
 	return req, nil

@@ -1,15 +1,20 @@
 package mc
 
 import (
+	"errors"
 	"testing"
 
 	"facil/internal/dram"
 	"facil/internal/mapping"
+	"facil/internal/vm"
 )
 
 func testSetup(t *testing.T) (dram.Spec, *mapping.Table) {
 	t.Helper()
-	spec := dram.MustLPDDR5("mc test", 32, 6400, 2, 1<<30) // 2 channels, 1 GiB
+	spec, err := dram.LPDDR5("mc test", 32, 6400, 2, 1<<30) // 2 channels, 1 GiB
+	if err != nil {
+		t.Fatal(err)
+	}
 	mc := mapping.MemoryConfig{Geometry: spec.Geometry, HugePageBytes: 2 << 20}
 	tab, err := mapping.NewTable(mc, mapping.AiMChunk(spec.Geometry))
 	if err != nil {
@@ -95,7 +100,10 @@ func TestFrontendRejectsOutOfRange(t *testing.T) {
 
 func TestFrontendGeometryMismatch(t *testing.T) {
 	spec, _ := testSetup(t)
-	other := dram.MustLPDDR5("other", 64, 6400, 2, 1<<30)
+	other, err := dram.LPDDR5("other", 64, 6400, 2, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
 	mcfg := mapping.MemoryConfig{Geometry: other.Geometry, HugePageBytes: 2 << 20}
 	tab, err := mapping.NewTable(mcfg, mapping.AiMChunk(other.Geometry))
 	if err != nil {
@@ -122,5 +130,99 @@ func TestHardwareCost(t *testing.T) {
 	// Paper Sec. V-A: four PTE bits suffice even in the worst case.
 	if c.MapIDBits > 4 {
 		t.Errorf("MapIDBits = %d, want <= 4", c.MapIDBits)
+	}
+}
+
+func TestFrontendBadMapIDRejected(t *testing.T) {
+	spec, tab := testSetup(t)
+	f, err := NewFrontend(spec, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, max := tab.Range()
+	bad := max + 1
+	if err := f.ValidateMapID(bad); !errors.Is(err, ErrBadMapID) {
+		t.Fatalf("ValidateMapID(%d) = %v, want ErrBadMapID", bad, err)
+	}
+	if _, err := f.Access(0x1000, bad, false, 0); !errors.Is(err, ErrBadMapID) {
+		t.Fatalf("Access with MapID %d = %v, want ErrBadMapID", bad, err)
+	}
+	if n := f.BadMapIDs(); n != 1 {
+		t.Fatalf("BadMapIDs = %d after one rejection, want 1", n)
+	}
+	// Valid IDs pass: the conventional mapping and the full table range.
+	min, max := tab.Range()
+	for id := min; id <= max; id++ {
+		if err := f.ValidateMapID(id); err != nil {
+			t.Fatalf("in-range MapID %d rejected: %v", id, err)
+		}
+	}
+	if err := f.ValidateMapID(mapping.ConventionalMapID); err != nil {
+		t.Fatalf("conventional MapID rejected: %v", err)
+	}
+}
+
+func TestFrontendDegradeOnBadMapID(t *testing.T) {
+	spec, tab := testSetup(t)
+	f, err := NewFrontend(spec, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetDegradeOnBadMapID(true)
+	_, max := tab.Range()
+	pa := uint64(0x123460)
+	req, err := f.Access(pa, max+3, false, 0)
+	if err != nil {
+		t.Fatalf("degrade mode rejected the request: %v", err)
+	}
+	// The degraded request is served under the conventional mapping.
+	if want := f.Translate(pa, mapping.ConventionalMapID); req.Addr != want {
+		t.Fatalf("degraded request at %v, want conventional %v", req.Addr, want)
+	}
+	if _, err := f.Access(pa+32, mapping.ConventionalMapID, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Drain()
+	if n := f.BadMapIDs(); n != 1 {
+		t.Fatalf("BadMapIDs = %d, want 1", n)
+	}
+	if got := f.Controller().Stats().BadMapIDs; got != 1 {
+		t.Fatalf("channel stats BadMapIDs = %d, want 1", got)
+	}
+	if f.RequestsByMapID()[mapping.ConventionalMapID] != 2 {
+		t.Fatalf("degraded request not accounted to the conventional mapping: %v", f.RequestsByMapID())
+	}
+}
+
+func TestCorruptPTECaughtAtFrontend(t *testing.T) {
+	// End to end: flip one MapID bit in a huge-page PTE (the fault
+	// model's single-event upset) and verify the frontend detects it
+	// whenever the result leaves the mapping table.
+	spec, tab := testSetup(t)
+	f, err := NewFrontend(spec, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := tab.Range()
+	caught := 0
+	for id := min; id <= max; id++ {
+		pte, err := vm.NewHugePTE(0, id, vm.PTEWrite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for bit := 0; bit < 4; bit++ {
+			flipped := pte.WithFlippedMapIDBit(bit).MapID()
+			verr := f.ValidateMapID(flipped)
+			inTable := flipped == mapping.ConventionalMapID || (flipped >= min && flipped <= max)
+			if inTable != (verr == nil) {
+				t.Fatalf("MapID %d->%d: ValidateMapID = %v, in-table = %v", id, flipped, verr, inTable)
+			}
+			if verr != nil {
+				caught++
+			}
+		}
+	}
+	if caught == 0 {
+		t.Fatal("no corrupted MapID left the table range; test exercises nothing")
 	}
 }

@@ -9,7 +9,10 @@ import (
 
 func testDevice(t *testing.T) *Device {
 	t.Helper()
-	spec := dram.MustLPDDR5("pim test", 64, 6400, 2, 2<<30) // 4 channels
+	spec, err := dram.LPDDR5("pim test", 64, 6400, 2, 2<<30) // 4 channels
+	if err != nil {
+		t.Fatal(err)
+	}
 	d, err := NewDevice(spec, DefaultAiM(spec.Geometry))
 	if err != nil {
 		t.Fatal(err)
@@ -131,7 +134,10 @@ func TestGEMMSecondsLinearInL(t *testing.T) {
 }
 
 func TestMACIntervalGovernsGEMV(t *testing.T) {
-	spec := dram.MustLPDDR5("pim cadence", 64, 6400, 2, 2<<30)
+	spec, err := dram.LPDDR5("pim cadence", 64, 6400, 2, 2<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
 	m := mapping.MatrixConfig{Rows: 2048, Cols: 4096, DTypeBytes: 2}
 	run := func(interval int) float64 {
 		cfg := DefaultAiM(spec.Geometry)
@@ -153,7 +159,10 @@ func TestMACIntervalGovernsGEMV(t *testing.T) {
 }
 
 func TestHBMPIMStyleRuns(t *testing.T) {
-	spec := dram.MustLPDDR5("pim hbm-style", 64, 6400, 2, 2<<30)
+	spec, err := dram.LPDDR5("pim hbm-style", 64, 6400, 2, 2<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
 	d, err := NewDevice(spec, DefaultHBMPIM(spec.Geometry))
 	if err != nil {
 		t.Fatal(err)

@@ -9,7 +9,10 @@ import (
 
 func testEngine(t *testing.T) (*Engine, *mapping.Table, dram.Spec) {
 	t.Helper()
-	spec := dram.MustLPDDR5("relayout test", 64, 6400, 2, 2<<30) // 4 channels
+	spec, err := dram.LPDDR5("relayout test", 64, 6400, 2, 2<<30) // 4 channels
+	if err != nil {
+		t.Fatal(err)
+	}
 	mc := mapping.MemoryConfig{Geometry: spec.Geometry, HugePageBytes: 2 << 20}
 	tab, err := mapping.NewTable(mc, mapping.AiMChunk(spec.Geometry))
 	if err != nil {
@@ -107,8 +110,14 @@ func TestCostNegativeRejected(t *testing.T) {
 }
 
 func TestNewEngineValidation(t *testing.T) {
-	spec := dram.MustLPDDR5("a", 32, 6400, 2, 1<<30)
-	other := dram.MustLPDDR5("b", 64, 6400, 2, 1<<30)
+	spec, err := dram.LPDDR5("a", 32, 6400, 2, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := dram.LPDDR5("b", 64, 6400, 2, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
 	mc := mapping.MemoryConfig{Geometry: other.Geometry, HugePageBytes: 2 << 20}
 	tab, err := mapping.NewTable(mc, mapping.AiMChunk(other.Geometry))
 	if err != nil {

@@ -7,7 +7,8 @@ import (
 )
 
 func schedSpec() dram.Spec {
-	return dram.MustLPDDR5("sched test", 16, 6400, 2, 256<<20) // 1 channel
+	s, _ := dram.LPDDR5("sched test", 16, 6400, 2, 256<<20) // 1 channel
+	return s
 }
 
 func TestCosimulateAllPolicies(t *testing.T) {

@@ -12,8 +12,15 @@ const (
 	// the decode lane (first token emitted here).
 	evPrefillDone
 	// evQuantumDone ends one decode scheduling quantum on a replica's
-	// PIM lane: the query either finished or rejoins the decode queue.
+	// PIM lane (or, for degraded queries, its SoC lane): the query
+	// either finished or rejoins the decode queue.
 	evQuantumDone
+	// evLaneDown starts (or extends) a PIM-lane outage on a replica;
+	// scheduled by the fault layer only.
+	evLaneDown
+	// evLaneUp ends a PIM-lane outage, unless a later-ending overlap
+	// still holds the lane down.
+	evLaneUp
 )
 
 // event is one entry of the simulator's time-ordered heap.
@@ -22,9 +29,20 @@ type event struct {
 	seq  int64 // tie-break: FIFO among simultaneous events
 	kind evKind
 	q    *query
-	rep  int // replica index (evPrefillDone, evQuantumDone)
+	rep  int // replica index (evPrefillDone, evQuantumDone, lane events)
 	// steps is the number of decode steps the ending quantum covered.
 	steps int
+	// dur is the token-emitting duration of the ending quantum
+	// (excluding any fault-recovery penalty that preceded it), and
+	// factor the thermal slowdown it was dispatched under — stored so
+	// completion reconstructs the emission times without recomputing
+	// under different fault conditions.
+	dur    float64
+	factor float64
+	// soc marks a degraded quantum that ran on the SoC lane.
+	soc bool
+	// until is the outage end carried by evLaneDown.
+	until float64
 }
 
 // eventHeap is a min-heap ordered by (at, seq); seq keeps simultaneous

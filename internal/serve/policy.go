@@ -1,0 +1,55 @@
+package serve
+
+import "fmt"
+
+// Policy selects the degradation response when a query's decode cannot
+// run on its replica's PIM lane (lane failure or open circuit breaker)
+// or when its MapID arrives corrupted at the MC frontend.
+type Policy int
+
+const (
+	// PolicyNone is the no-policy tier: a query hitting a dead PIM
+	// lane (or a silently mis-translated MapID) fails terminally. This
+	// is what a fault-unaware serving stack does.
+	PolicyNone Policy = iota
+	// PolicySoCFallback degrades decode to the SoC-only path — the
+	// paper's own baseline becomes the fallback tier. Decode quanta
+	// run on the replica's SoC lane (contending with prefills, prefill
+	// first) at SoC-only per-step latency until the PIM lane is usable
+	// again.
+	PolicySoCFallback
+	// PolicyFailover migrates the decode to another replica whose PIM
+	// lane is live and idle with no decode backlog, paying
+	// FailoverPenalty (the KV-cache transfer) before its next quantum;
+	// with no spare capacity anywhere it degrades to the SoC fallback
+	// path. Failover therefore never does worse than PolicySoCFallback:
+	// it only replaces SoC-speed decode with idle PIM-speed decode.
+	PolicyFailover
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyNone:
+		return "none"
+	case PolicySoCFallback:
+		return "soc-fallback"
+	case PolicyFailover:
+		return "failover"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy resolves a command-line policy name.
+func ParsePolicy(s string) (Policy, error) {
+	for _, p := range Policies() {
+		if s == p.String() {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("serve: unknown policy %q (none, soc-fallback, failover)", s)
+}
+
+// Policies lists the degradation policies in escalation order.
+func Policies() []Policy { return []Policy{PolicyNone, PolicySoCFallback, PolicyFailover} }

@@ -3,9 +3,11 @@ package serve
 import (
 	"container/heap"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"facil/internal/engine"
+	"facil/internal/fault"
 	"facil/internal/obs"
 	"facil/internal/stats"
 	"facil/internal/workload"
@@ -106,15 +108,45 @@ type SimConfig struct {
 	// TraceLabel prefixes the run's trace track names (defaults to the
 	// mode name), letting sweep points identify themselves in Perfetto.
 	TraceLabel string
+
+	// Faults is the injected fault scenario. The zero value disables
+	// the fault layer entirely: the run draws no fault randomness,
+	// schedules no fault events, and is byte-identical to a faultless
+	// build. Non-empty scenarios require a two-lane mode (not Serial).
+	Faults fault.Scenario
+	// Policy selects the degradation response to PIM-lane loss and
+	// detected MapID corruption (PolicyNone fails affected queries).
+	Policy Policy
+	// FailoverPenalty is the decode-migration cost in seconds under
+	// PolicyFailover (0 = DefaultFailoverPenalty).
+	FailoverPenalty float64
+	// BreakerThreshold opens a replica's circuit breaker after that
+	// many consecutive failed PIM dispatches (0 disables the breaker).
+	BreakerThreshold int
+	// BreakerCooldown is the open-state dwell in seconds before a
+	// half-open probe (0 = DefaultBreakerCooldown).
+	BreakerCooldown float64
+	// MaxRetries is the client-side retry budget of a rejected
+	// arrival: each retry re-submits the query after a jittered,
+	// capped exponential backoff; exhausting the budget counts the
+	// query as Rejected. 0 disables retries.
+	MaxRetries int
+	// RetryBase and RetryCap bound the exponential backoff in seconds
+	// (0 = DefaultRetryBase / DefaultRetryCap).
+	RetryBase float64
+	RetryCap  float64
 }
 
 // DefaultPreemptSteps is the decode quantum when SimConfig leaves it 0.
 const DefaultPreemptSteps = 8
 
-// Validate rejects degenerate scenarios.
+// Validate rejects degenerate scenarios: non-positive sizes, negative
+// limits, NaN/Inf rates or durations anywhere (including the fault and
+// retry knobs), unknown policies, and fault injection in Serial mode
+// (the fault model targets the two-lane schedulers).
 func (c SimConfig) Validate() error {
-	if c.ArrivalRate <= 0 {
-		return fmt.Errorf("serve: arrival rate must be positive")
+	if badRate(c.ArrivalRate) {
+		return fmt.Errorf("serve: arrival rate must be positive and finite, got %g", c.ArrivalRate)
 	}
 	if c.Queries <= 0 {
 		return fmt.Errorf("serve: query count must be positive")
@@ -122,10 +154,42 @@ func (c SimConfig) Validate() error {
 	if c.Replicas <= 0 {
 		return fmt.Errorf("serve: replica count must be positive")
 	}
-	if c.QueueCap < 0 || c.DeadlineTTLT < 0 || c.Timeout < 0 || c.PreemptSteps < 0 {
+	for name, v := range map[string]float64{
+		"DeadlineTTLT":    c.DeadlineTTLT,
+		"Timeout":         c.Timeout,
+		"FailoverPenalty": c.FailoverPenalty,
+		"BreakerCooldown": c.BreakerCooldown,
+		"RetryBase":       c.RetryBase,
+		"RetryCap":        c.RetryCap,
+	} {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("serve: %s must be a finite non-negative duration, got %g", name, v)
+		}
+	}
+	if c.QueueCap < 0 || c.PreemptSteps < 0 || c.MaxRetries < 0 || c.BreakerThreshold < 0 {
 		return fmt.Errorf("serve: negative limit in %+v", c)
 	}
+	if c.RetryCap > 0 && c.RetryBase > c.RetryCap {
+		return fmt.Errorf("serve: RetryBase %g exceeds RetryCap %g", c.RetryBase, c.RetryCap)
+	}
+	if c.MaxRetries > 0 && c.QueueCap == 0 {
+		return fmt.Errorf("serve: retries require a bounded queue (QueueCap > 0); nothing rejects otherwise")
+	}
+	if c.Policy < PolicyNone || c.Policy > PolicyFailover {
+		return fmt.Errorf("serve: unknown policy %d", c.Policy)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
+	if !c.Faults.Empty() && c.Mode == Serial {
+		return fmt.Errorf("serve: fault injection requires a two-lane mode (cooperative or relayout-hybrid), not serial")
+	}
 	return nil
+}
+
+// badRate reports a rate that is non-positive, NaN or infinite.
+func badRate(v float64) bool {
+	return !(v > 0) || math.IsInf(v, 0)
 }
 
 // Metrics summarizes one event-driven serving run.
@@ -134,10 +198,39 @@ type Metrics struct {
 	Kind     engine.Kind
 	Replicas int
 
-	// Query accounting: Arrived = Admitted + Rejected;
-	// Admitted = Completed + TimedOut.
+	// Query accounting: Arrived = Admitted + Rejected and
+	// Admitted = Completed + TimedOut + Failed (Failed is zero without
+	// a fault scenario, reducing to the pre-fault identities). Each
+	// query counts once regardless of retries: Rejected counts only
+	// queries whose retry budget ran out.
 	Arrived, Admitted, Rejected int
 	Completed, TimedOut         int
+	// Failed counts queries terminally lost to faults: PolicyNone
+	// decode on a dead PIM lane, or silent MapID mis-translation.
+	Failed int
+
+	// Degraded counts queries that ran at least one decode quantum on
+	// the SoC fallback path; FailedOver counts decode migrations to
+	// another replica; Retries counts client-side re-submissions after
+	// a rejection; BreakerOpens counts circuit-breaker open
+	// transitions (including half-open reopens).
+	Degraded, FailedOver, Retries, BreakerOpens int
+	// CorruptMapIDs counts queries whose PTE MapID the scenario
+	// corrupted; CorruptRepaired the subset caught by the validating
+	// MC frontend and repaired by a page-table re-walk (the rest
+	// surface in Failed).
+	CorruptMapIDs, CorruptRepaired int
+
+	// LaneFailures is the number of PIM-lane outages that began during
+	// the run; LaneDownSecs their summed duration (clipped to the
+	// makespan); LaneMTTR the mean observed repair time of outages
+	// that were repaired within the run.
+	LaneFailures int
+	LaneDownSecs float64
+	LaneMTTR     float64
+	// Availability is the PIM-lane up fraction over replica-seconds of
+	// makespan (1 with no faults).
+	Availability float64
 
 	// TTFT is arrival to first token, TTLT arrival to last token, TBT
 	// the gap between consecutive tokens of one query (including
@@ -175,6 +268,12 @@ type query struct {
 	stepsDone       int     // decode steps finished (of decode-1)
 	firstToken      float64 // prefill completion (token 1)
 	prevToken       float64 // last emitted token (TBT anchor)
+
+	// Fault-layer state (zero on the happy path):
+	attempts int     // client retries consumed so far
+	corrupt  bool    // scenario corrupted the PTE MapID
+	degraded bool    // counted in Metrics.Degraded already
+	penalty  float64 // one-shot delay before the next quantum (failover migration, PTE repair)
 }
 
 // replica is one device: a SoC lane, a PIM lane, and its decode queue
@@ -187,6 +286,13 @@ type replica struct {
 	// lane (RelayoutHybrid only).
 	pimFreeAt float64
 	decodeQ   []*query
+
+	// Fault-layer state (untouched with the layer off):
+	pimDown   bool    // PIM lane currently failed
+	downAt    float64 // start of the current outage
+	downUntil float64 // latest scheduled end of the current outage
+	brk       breaker // circuit breaker over the PIM lane
+	socQ      []*query
 }
 
 // sim is the run state of one event-driven simulation.
@@ -204,6 +310,22 @@ type sim struct {
 	busySoC  int
 	busyPIM  int
 	lastT    float64 // previous state-change instant for the TimeHists
+
+	// open counts queries not yet terminal (completed, rejected, timed
+	// out or failed); once it reaches zero, pending fault events are
+	// discarded without advancing the clock, so an infinite stochastic
+	// fault stream cannot stretch the makespan.
+	open int
+
+	// flt is nil with an empty fault scenario (layer off).
+	flt         *faultState
+	failoverPen float64
+	brkCooldown float64
+
+	// retryRNG exists only when MaxRetries > 0.
+	retryRNG  *rand.Rand
+	retryBase float64
+	retryCap  float64
 
 	socBusySecs, pimBusySecs float64
 
@@ -311,6 +433,25 @@ func Run(s *engine.System, cfg SimConfig) (Metrics, error) {
 			id: i, arrival: clock, prefill: q.Prefill, decode: q.Decode,
 		}})
 	}
+	sm.open = cfg.Queries
+	// The fault and retry layers arm only when configured, after the
+	// arrival events, so a faultless run's event sequence (and RNG
+	// stream) is untouched.
+	if cfg.MaxRetries > 0 {
+		sm.retryBase, sm.retryCap = cfg.RetryBase, cfg.RetryCap
+		if sm.retryBase == 0 {
+			sm.retryBase = DefaultRetryBase
+		}
+		if sm.retryCap == 0 {
+			sm.retryCap = DefaultRetryCap
+		}
+		sm.retryRNG = rand.New(rand.NewSource(cfg.Seed + 2))
+	}
+	if !cfg.Faults.Empty() {
+		if err := sm.initFaults(s); err != nil {
+			return Metrics{}, err
+		}
+	}
 	if err := sm.loop(); err != nil {
 		return Metrics{}, err
 	}
@@ -336,10 +477,16 @@ func (sm *sim) advance(t float64) {
 	sm.now = t
 }
 
-// loop drains the event heap.
+// loop drains the event heap. Once every query is terminal, remaining
+// fault events are discarded without advancing the clock: the makespan
+// (and the time-weighted histograms) end at the last query event, not
+// at whatever outage the infinite stochastic stream scheduled next.
 func (sm *sim) loop() error {
 	for sm.evs.Len() > 0 {
 		e := heap.Pop(&sm.evs).(*event)
+		if (e.kind == evLaneDown || e.kind == evLaneUp) && sm.open == 0 {
+			continue
+		}
 		sm.advance(e.at)
 		switch e.kind {
 		case evArrival:
@@ -351,7 +498,15 @@ func (sm *sim) loop() error {
 				return err
 			}
 		case evQuantumDone:
-			if err := sm.onQuantumDone(e.q, e.rep, e.steps); err != nil {
+			if err := sm.onQuantumDone(e); err != nil {
+				return err
+			}
+		case evLaneDown:
+			if err := sm.onLaneDown(e.rep, e.until); err != nil {
+				return err
+			}
+		case evLaneUp:
+			if err := sm.onLaneUp(e.rep); err != nil {
 				return err
 			}
 		}
@@ -360,14 +515,27 @@ func (sm *sim) loop() error {
 }
 
 // onArrival admits or rejects a query, then tries to start prefills.
+// A rejected query with retry budget left re-arrives after a jittered
+// exponential backoff instead of counting as Rejected.
 func (sm *sim) onArrival(q *query) error {
-	sm.m.Arrived++
+	if q.attempts == 0 {
+		sm.m.Arrived++
+	}
 	if sm.cfg.QueueCap > 0 && sm.inSystem >= sm.cfg.QueueCap {
+		if sm.cfg.MaxRetries > 0 && q.attempts < sm.cfg.MaxRetries {
+			q.attempts++
+			sm.m.Retries++
+			sm.traceInstant("retry", q)
+			sm.push(&event{at: sm.now + sm.backoff(q.attempts), kind: evArrival, q: q})
+			return nil
+		}
 		sm.m.Rejected++
+		sm.open--
 		sm.traceInstant("reject", q)
 		return nil
 	}
 	sm.m.Admitted++
+	sm.maybeCorrupt(q)
 	sm.inSystem++
 	if sm.inSystem > sm.m.MaxQueueDepth {
 		sm.m.MaxQueueDepth = sm.inSystem
@@ -387,6 +555,7 @@ func (sm *sim) expired(q *query) bool {
 func (sm *sim) abort(q *query) {
 	sm.m.TimedOut++
 	sm.inSystem--
+	sm.open--
 	sm.traceInstant("timeout", q)
 	sm.traceDepth()
 }
@@ -460,6 +629,9 @@ func (sm *sim) startPrefill(q *query, ri int) error {
 		if err != nil {
 			return err
 		}
+		// Thermal throttling slows the SoC's DRAM too (the refresh derate
+		// is chip-wide); factor is exactly 1 with the fault layer off.
+		pre *= sm.factorAt(sm.now)
 		if sm.cfg.Mode == RelayoutHybrid {
 			switch sm.cfg.Kind {
 			case engine.HybridStatic, engine.HybridDynamic:
@@ -505,7 +677,9 @@ func (sm *sim) onPrefillDone(q *query, ri int) error {
 	sm.busySoC--
 	if q.decode <= 1 {
 		sm.complete(q)
-	} else {
+	} else if !q.corrupt || sm.onCorruptHandoff(q) {
+		// The decode handoff is where a corrupted PTE MapID first hits
+		// the MC frontend mux; onCorruptHandoff fails or repairs it.
 		r.decodeQ = append(r.decodeQ, q)
 	}
 	if err := sm.dispatchPrefills(); err != nil {
@@ -514,29 +688,41 @@ func (sm *sim) onPrefillDone(q *query, ri int) error {
 	return sm.dispatchDecode(ri)
 }
 
-// quantumSeconds sums the next `steps` decode-step latencies of q.
+// quantumSeconds sums the next `steps` decode-step latencies of q under
+// the configured design at nominal speed (the happy path).
 func (sm *sim) quantumSeconds(q *query, steps int) (float64, error) {
+	return sm.quantumSecondsKind(q, steps, sm.cfg.Kind, 1)
+}
+
+// quantumSecondsKind sums the next `steps` decode-step latencies of q
+// under an explicit design (degraded quanta run at engine.SoCOnly
+// latency) and thermal slowdown factor. Each step is scaled before
+// summing so the quantum's internal token times match emitTokens; at
+// factor 1 the products are bit-identical to the unscaled sum.
+func (sm *sim) quantumSecondsKind(q *query, steps int, kind engine.Kind, factor float64) (float64, error) {
 	var t float64
 	for i := 0; i < steps; i++ {
-		st, err := sm.sys.DecodeStepSeconds(sm.cfg.Kind, q.prefill+q.stepsDone+i+1)
+		st, err := sm.sys.DecodeStepSeconds(kind, q.prefill+q.stepsDone+i+1)
 		if err != nil {
 			return 0, err
 		}
-		t += st
+		t += st * factor
 	}
 	return t, nil
 }
 
 // emitTokens replays the token emission times of a finished quantum that
-// started at `start`, recording the inter-token gaps.
-func (sm *sim) emitTokens(q *query, start float64, steps int) error {
+// started at `start`, recording the inter-token gaps. kind and factor
+// must match the dispatch-time values so the replayed times land exactly
+// on the quantum's end event.
+func (sm *sim) emitTokens(q *query, start float64, steps int, kind engine.Kind, factor float64) error {
 	t := start
 	for i := 0; i < steps; i++ {
-		st, err := sm.sys.DecodeStepSeconds(sm.cfg.Kind, q.prefill+q.stepsDone+i+1)
+		st, err := sm.sys.DecodeStepSeconds(kind, q.prefill+q.stepsDone+i+1)
 		if err != nil {
 			return err
 		}
-		t += st
+		t += st * factor
 		sm.tbts = append(sm.tbts, t-q.prevToken)
 		q.prevToken = t
 	}
@@ -545,7 +731,9 @@ func (sm *sim) emitTokens(q *query, start float64, steps int) error {
 }
 
 // dispatchDecode starts the next decode quantum on a replica's PIM lane
-// (round-robin over its decode queue at PreemptSteps granularity).
+// (round-robin over its decode queue at PreemptSteps granularity). With
+// the fault layer armed, a dead or breaker-guarded lane routes each
+// queued query through the degradation policy instead.
 func (sm *sim) dispatchDecode(ri int) error {
 	r := &sm.reps[ri]
 	for !r.pimBusy && len(r.decodeQ) > 0 {
@@ -555,13 +743,15 @@ func (sm *sim) dispatchDecode(ri int) error {
 			sm.abort(q)
 			continue
 		}
+		if sm.flt != nil && !sm.acquirePIM(ri) {
+			if err := sm.degrade(q, ri); err != nil {
+				return err
+			}
+			continue
+		}
 		steps := q.decode - 1 - q.stepsDone
 		if steps > sm.cfg.PreemptSteps {
 			steps = sm.cfg.PreemptSteps
-		}
-		dur, err := sm.quantumSeconds(q, steps)
-		if err != nil {
-			return err
 		}
 		// A relayout window may still hold the lane: the quantum is
 		// reserved now and starts when the weights are back.
@@ -569,42 +759,75 @@ func (sm *sim) dispatchDecode(ri int) error {
 		if r.pimFreeAt > start {
 			start = r.pimFreeAt
 		}
+		factor := sm.factorAt(start)
+		dur, err := sm.quantumSecondsKind(q, steps, sm.cfg.Kind, factor)
+		if err != nil {
+			return err
+		}
+		// A one-shot penalty (failover migration, PTE repair) delays the
+		// quantum without emitting tokens.
+		penalty := q.penalty
+		q.penalty = 0
 		r.pimBusy = true
 		sm.busyPIM++
-		sm.pimBusySecs += dur
-		sm.push(&event{at: start + dur, kind: evQuantumDone, q: q, rep: ri, steps: steps})
+		sm.pimBusySecs += penalty + dur
+		if penalty > 0 {
+			sm.traceSpan(ri, traceLanePIM, "fault-recovery", q, start, penalty)
+		}
+		sm.push(&event{
+			at: start + penalty + dur, kind: evQuantumDone, q: q, rep: ri,
+			steps: steps, dur: dur, factor: factor,
+		})
+	}
+	if sm.flt != nil && sm.cfg.Policy != PolicyNone {
+		return sm.dispatchSoCDecode(ri)
 	}
 	return nil
 }
 
 // onQuantumDone finishes one decode quantum: tokens are emitted, the
 // query completes or rejoins the queue, and the lane picks its next
-// quantum.
-func (sm *sim) onQuantumDone(q *query, ri int, steps int) error {
+// quantum. The event carries the dispatch-time duration and thermal
+// factor so the replay cannot drift if fault conditions changed
+// mid-quantum.
+func (sm *sim) onQuantumDone(e *event) error {
+	q, ri, steps := e.q, e.rep, e.steps
 	r := &sm.reps[ri]
 	if sm.cfg.Mode == Serial {
-		if err := sm.emitTokens(q, q.firstToken, steps); err != nil {
+		if err := sm.emitTokens(q, q.firstToken, steps, sm.cfg.Kind, 1); err != nil {
 			return err
 		}
 		sm.traceSpan(ri, traceLanePIM, "decode", q, q.firstToken, sm.now-q.firstToken)
 		return sm.completeSerial(q, ri)
 	}
-	// Recover the quantum's start: its steps ran back-to-back ending
-	// now (quantumSeconds is memoized, so the recompute is cheap).
-	dur, err := sm.quantumSeconds(q, steps)
-	if err != nil {
+	kind, lane := sm.cfg.Kind, traceLanePIM
+	if e.soc {
+		kind, lane = engine.SoCOnly, traceLaneSoC
+	}
+	if err := sm.emitTokens(q, sm.now-e.dur, steps, kind, e.factor); err != nil {
 		return err
 	}
-	if err := sm.emitTokens(q, sm.now-dur, steps); err != nil {
-		return err
+	sm.traceSpan(ri, lane, "decode", q, sm.now-e.dur, e.dur)
+	if e.soc {
+		r.socBusy = false
+		sm.busySoC--
+	} else {
+		r.pimBusy = false
+		sm.busyPIM--
 	}
-	sm.traceSpan(ri, traceLanePIM, "decode", q, sm.now-dur, dur)
-	r.pimBusy = false
-	sm.busyPIM--
 	if q.stepsDone >= q.decode-1 {
 		sm.complete(q)
 	} else {
+		// Rejoin the replica's main decode queue: the next dispatch
+		// re-decides the route, so a degraded query returns to the PIM
+		// lane as soon as it recovers.
 		r.decodeQ = append(r.decodeQ, q)
+	}
+	if e.soc {
+		// The freed SoC lane goes to waiting prefills first.
+		if err := sm.dispatchPrefills(); err != nil {
+			return err
+		}
 	}
 	return sm.dispatchDecode(ri)
 }
@@ -613,6 +836,7 @@ func (sm *sim) onQuantumDone(q *query, ri int, steps int) error {
 func (sm *sim) complete(q *query) {
 	sm.m.Completed++
 	sm.inSystem--
+	sm.open--
 	ttlt := q.prevToken - q.arrival
 	sm.ttlts = append(sm.ttlts, ttlt)
 	if sm.cfg.DeadlineTTLT == 0 || ttlt <= sm.cfg.DeadlineTTLT {
@@ -645,6 +869,24 @@ func (sm *sim) finish() Metrics {
 		rs := float64(sm.cfg.Replicas) * m.Makespan
 		m.SoCUtilization = sm.socBusySecs / rs
 		m.PIMUtilization = sm.pimBusySecs / rs
+	}
+	m.Availability = 1
+	if sm.flt != nil {
+		// Lanes still down at the end contribute their elapsed outage but
+		// not an MTTR sample (the repair never happened in-run).
+		for ri := range sm.reps {
+			if sm.reps[ri].pimDown {
+				sm.flt.residualDown += sm.now - sm.reps[ri].downAt
+			}
+		}
+		m.LaneDownSecs = sm.flt.outages.TotalDown + sm.flt.residualDown
+		m.LaneMTTR = sm.flt.outages.MTTR()
+		if rs := float64(sm.cfg.Replicas) * m.Makespan; rs > 0 {
+			m.Availability = 1 - m.LaneDownSecs/rs
+			if m.Availability < 0 {
+				m.Availability = 0
+			}
+		}
 	}
 	return *m
 }

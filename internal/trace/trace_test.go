@@ -113,7 +113,10 @@ func TestGenerators(t *testing.T) {
 }
 
 func TestTraceThroughSimulator(t *testing.T) {
-	spec := dram.MustLPDDR5("trace sim", 16, 6400, 2, 256<<20)
+	spec, err := dram.LPDDR5("trace sim", 16, 6400, 2, 256<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
 	m, err := addr.Conventional(spec.Geometry)
 	if err != nil {
 		t.Fatal(err)
