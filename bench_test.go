@@ -232,11 +232,11 @@ func BenchmarkDRAMSequentialStream(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	reqs := make([]*dram.Request, 0, 4096)
+	reqs := make([]dram.Request, 0, 4096)
 	for row := 0; row < 4; row++ {
 		for bank := 0; bank < 16; bank++ {
 			for col := 0; col < 64; col++ {
-				reqs = append(reqs, &dram.Request{Addr: dram.Addr{Bank: bank, Row: row, Column: col}})
+				reqs = append(reqs, dram.Request{Addr: dram.Addr{Bank: bank, Row: row, Column: col}})
 			}
 		}
 	}
@@ -244,12 +244,8 @@ func BenchmarkDRAMSequentialStream(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		fresh := make([]*dram.Request, len(reqs))
-		for j, r := range reqs {
-			cp := *r
-			fresh[j] = &cp
-		}
-		if _, err := dram.MeasureStream(spec, fresh); err != nil {
+		// SliceSource enqueues by value, so iterations share the slice.
+		if _, err := dram.MeasureStreamFunc(spec, dram.SliceSource(reqs)); err != nil {
 			b.Fatal(err)
 		}
 	}

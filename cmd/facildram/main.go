@@ -113,7 +113,7 @@ func main() {
 			ctl.SetTracer(tr, 0)
 		}
 		for _, r := range reqs {
-			if err := ctl.Enqueue(r); err != nil {
+			if err := ctl.EnqueueValue(r); err != nil {
 				fatal(err)
 			}
 		}
@@ -127,7 +127,7 @@ func main() {
 		}
 		return
 	}
-	res, err := dram.MeasureStreamWindow(spec, reqs, *window)
+	res, err := dram.MeasureStreamFuncWindow(spec, dram.SliceSource(reqs), *window)
 	if err != nil {
 		fatal(err)
 	}

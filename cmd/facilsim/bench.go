@@ -1,0 +1,176 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"facil/internal/dram"
+	"facil/internal/engine"
+	"facil/internal/exp"
+)
+
+// benchReport is the schema of BENCH_dram.json — the committed perf
+// baseline for the DRAM scheduler hot path. Regenerate with
+// scripts/bench.sh (or `go run ./cmd/facilsim -bench`), on an otherwise
+// idle machine, and compare against the committed file before and after
+// scheduler changes.
+type benchReport struct {
+	GeneratedBy string `json:"generated_by"`
+	GoVersion   string `json:"go_version"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+
+	// Micro-benchmarks (single channel, default test LPDDR5 spec).
+	ChannelDrainNsPerReq    float64 `json:"channel_drain_ns_per_req"`
+	ChannelDrainAllocsPerOp int64   `json:"channel_drain_allocs_per_op"`
+	ReferenceDrainNsPerReq  float64 `json:"reference_drain_ns_per_req"`
+	SchedulerSpeedup        float64 `json:"scheduler_speedup"`
+	ReplayStreamMBPerSec    float64 `json:"replay_stream_mb_per_sec"`
+
+	// Headline experiment wall times (serial, -par 1).
+	Fig6WallSeconds float64 `json:"fig6_wall_seconds"`
+	Tab1WallSeconds float64 `json:"tab1_wall_seconds"`
+	Tab1Scale       int64   `json:"tab1_scale"`
+}
+
+// benchSpec returns the single-channel spec the micro-benchmarks run on
+// (matching internal/dram's benchmark spec).
+func benchSpec() (dram.Spec, error) {
+	return dram.LPDDR5("bench LPDDR5 1ch", 16, 6400, 2, 256<<20)
+}
+
+// benchRequests builds the locality-mixed measurement stream.
+func benchRequests(spec dram.Spec, n int) []dram.Request {
+	g := spec.Geometry
+	cols := g.ColumnsPerRow()
+	reqs := make([]dram.Request, n)
+	for i := range reqs {
+		reqs[i] = dram.Request{
+			Addr: dram.Addr{
+				Rank:   (i / cols / g.BanksPerRank) % g.RanksPerChannel,
+				Bank:   (i / cols) % g.BanksPerRank,
+				Row:    (i / cols / g.BanksPerRank / g.RanksPerChannel) % g.Rows,
+				Column: i % cols,
+			},
+			Write: i%4 == 3,
+		}
+	}
+	return reqs
+}
+
+// runBench executes the scheduler micro-benchmarks plus the headline
+// experiment wall times in-process and writes the JSON report to stdout.
+func runBench(ctx context.Context) int {
+	spec, err := benchSpec()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "facilsim: -bench: %v\n", err)
+		return 1
+	}
+	reqs := benchRequests(spec, 4096)
+
+	rep := benchReport{
+		GeneratedBy: "go run ./cmd/facilsim -bench (see scripts/bench.sh)",
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Tab1Scale:   16,
+	}
+
+	// Optimized scheduler: warm channel, steady-state enqueue+drain.
+	opt := dram.NewChannel(&spec)
+	drainOpt := func() {
+		for j := range reqs {
+			opt.EnqueueValue(reqs[j])
+		}
+		opt.Drain()
+	}
+	drainOpt()
+	optRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			drainOpt()
+		}
+	})
+	rep.ChannelDrainNsPerReq = float64(optRes.NsPerOp()) / float64(len(reqs))
+	rep.ChannelDrainAllocsPerOp = optRes.AllocsPerOp()
+
+	// Reference scheduler, same stream.
+	ref := dram.NewReferenceChannel(&spec)
+	drainRef := func() {
+		for j := range reqs {
+			ref.Enqueue(&reqs[j])
+		}
+		ref.Drain()
+	}
+	drainRef()
+	refRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			drainRef()
+		}
+	})
+	rep.ReferenceDrainNsPerReq = float64(refRes.NsPerOp()) / float64(len(reqs))
+	if rep.ChannelDrainNsPerReq > 0 {
+		rep.SchedulerSpeedup = rep.ReferenceDrainNsPerReq / rep.ChannelDrainNsPerReq
+	}
+
+	// Full streaming replay path in simulated MB per wall-clock second.
+	g := spec.Geometry
+	cols := g.ColumnsPerRow()
+	const streamN = 1 << 16
+	streamRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			emitted := 0
+			_, _, err := dram.ReplayStream(spec, func(r *dram.Request) bool {
+				if emitted >= streamN {
+					return false
+				}
+				*r = dram.Request{Addr: dram.Addr{
+					Bank:   (emitted / cols) % g.BanksPerRank,
+					Rank:   (emitted / cols / g.BanksPerRank) % g.RanksPerChannel,
+					Row:    (emitted / cols / g.BanksPerRank / g.RanksPerChannel) % g.Rows,
+					Column: emitted % cols,
+				}}
+				emitted++
+				return true
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if ns := streamRes.NsPerOp(); ns > 0 {
+		bytes := float64(streamN) * float64(g.TransferBytes)
+		rep.ReplayStreamMBPerSec = bytes / (float64(ns) / 1e9) / 1e6
+	}
+
+	// Headline experiment wall times, serial so runs compare across
+	// machines with different core counts.
+	lab := exp.NewLab(engine.DefaultConfig())
+	lab.SetParallelism(1)
+	start := time.Now()
+	if _, err := lab.Run(ctx, "fig6"); err != nil {
+		fmt.Fprintf(os.Stderr, "facilsim: -bench: fig6: %v\n", err)
+		return 1
+	}
+	rep.Fig6WallSeconds = time.Since(start).Seconds()
+
+	cfg := exp.DefaultTable1Config()
+	cfg.Scale = rep.Tab1Scale
+	start = time.Now()
+	if _, err := lab.Table1(ctx, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "facilsim: -bench: tab1: %v\n", err)
+		return 1
+	}
+	rep.Tab1WallSeconds = time.Since(start).Seconds()
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "facilsim: -bench: %v\n", err)
+		return 1
+	}
+	return 0
+}

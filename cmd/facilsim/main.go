@@ -48,6 +48,10 @@
 // serves net/http/pprof on ADDR (e.g. localhost:6060) for live
 // inspection of long sweeps.
 //
+// -bench runs the DRAM scheduler perf baseline (micro-benchmarks plus
+// fig6/tab1 wall times) and prints BENCH_dram.json to stdout; see
+// scripts/bench.sh.
+//
 // A failing experiment does not abort the run: remaining identifiers
 // still execute, the failures are summarized on stderr at the end
 // (and in the JSON report's manifest), and the exit status is non-zero.
@@ -106,6 +110,7 @@ func mainErr() int {
 	faults := flag.String("faults", "", "resilience: comma-separated lane MTBFs in seconds (empty = default)")
 	faultSeed := flag.Int64("faultseed", 0, "resilience: fault-scenario seed (0 = default)")
 	policy := flag.String("policy", "", "resilience: comma-separated degradation policies (none, soc-fallback, failover)")
+	bench := flag.Bool("bench", false, "run the DRAM scheduler perf baseline and print BENCH_dram.json to stdout")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -171,6 +176,10 @@ func mainErr() int {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *bench {
+		return runBench(ctx)
+	}
 
 	ids := flag.Args()
 	for _, id := range strings.Split(*idList, ",") {

@@ -21,11 +21,6 @@ type bank struct {
 	nextWR    int64
 	nextPRE   int64
 	lastACTAt int64
-
-	// Statistics.
-	activations int64
-	rowHits     int64
-	rowMisses   int64
 }
 
 func newBank() bank {
@@ -70,7 +65,6 @@ func (b *bank) apply(cmd CommandKind, row int, at int64, t *Timing) {
 		b.state = bankActive
 		b.openRow = row
 		b.lastACTAt = at
-		b.activations++
 		b.nextRD = maxi64(b.nextRD, at+int64(t.TRCD))
 		b.nextWR = maxi64(b.nextWR, at+int64(t.TRCD))
 		b.nextPRE = maxi64(b.nextPRE, at+int64(t.TRAS))

@@ -13,6 +13,11 @@ import (
 // goroutines), and cross-channel or cross-simulation aggregation happens
 // by merging snapshots after the owning simulation finishes. Snapshots
 // are plain values, so merging never races with a running scheduler.
+//
+// Every counter — including Refreshes — is folded into the snapshot at
+// command-apply time, so Stats() is a pure read: repeated snapshots of
+// the same channel are identical, and merging two snapshots taken at
+// different times can never double-count a refresh.
 type ChannelStats struct {
 	Reads       int64
 	Writes      int64
@@ -49,12 +54,41 @@ func (s *ChannelStats) Merge(o ChannelStats) {
 	}
 }
 
-// pendingReq wraps a Request with scheduler-internal bookkeeping.
-type pendingReq struct {
-	req *Request
+// noSlot is the nil value of slot-pool indexes.
+const noSlot = int32(-1)
+
+// slot is one queued request inside the channel's slot pool. Queued
+// requests live in a reusable array and are linked into two intrusive
+// lists by index: the queue-order list (every live request, FCFS order)
+// and the per-bank visible list (requests inside the FR-FCFS window,
+// grouped by bank, FCFS order). Freed slots are chained through next.
+type slot struct {
+	req Request
+	// user, when non-nil, is the caller's Request struct; its Done field
+	// is written back on completion (pointer-Enqueue compatibility).
+	user *Request
 	// activated is set once the scheduler issued an ACT on behalf of
 	// this request; used to classify row hits vs misses.
 	activated bool
+	// ready marks the request as counted in readyCount (Arrival <= now).
+	ready bool
+	// gen is bumped on every free, invalidating stale arrival-heap
+	// entries that still point at this slot.
+	gen uint32
+	// pos is the global enqueue sequence number — the FCFS tie-breaker
+	// (monotone with the reference scheduler's queue index).
+	pos uint64
+
+	next, prev   int32 // queue-order list links
+	bnext, bprev int32 // per-bank visible list links
+}
+
+// futureArrival is one queued request whose arrival is still in the
+// future, tracked in Channel.future (a min-heap on arrival).
+type futureArrival struct {
+	arrival int64
+	slot    int32
+	gen     uint32
 }
 
 // Channel is a single-channel DRAM command scheduler implementing
@@ -62,13 +96,48 @@ type pendingReq struct {
 // open-row policy, bank/rank timing constraints, data-bus contention,
 // read/write turnaround and periodic all-bank refresh.
 //
+// The scheduler's hot path is allocation-free in steady state: queued
+// requests live in a reusable slot pool, FR-FCFS candidate selection
+// walks per-bank intrusive lists (only banks with visible work), request
+// completion unlinks in O(1) instead of compacting a slice, and the
+// ready/arrival bookkeeping behind PendingReady and idle jumps is
+// tracked incrementally instead of rescanned. The command schedule is
+// bit-identical to the retained ReferenceChannel (see refsched.go and
+// the differential tests pinning the equivalence).
+//
 // A Channel is not safe for concurrent use.
 type Channel struct {
 	spec  *Spec
 	t     *Timing
 	ranks []rank
 
-	queue []pendingReq
+	// Slot pool and queue-order list.
+	slots    []slot
+	freeHead int32
+	head     int32
+	tail     int32
+	count    int
+	seq      uint64
+
+	// Visible-window state: the first min(count, window) queue entries
+	// are "visible" to FR-FCFS. Visibility only ever extends forward
+	// (enqueue fills a non-full window; completion slides it), except
+	// for SetWindow, which rebuilds the boundary.
+	visTail  int32
+	visCount int
+
+	// Per-bank visible lists indexed rank*BanksPerRank+bank, plus the
+	// dense set of banks that currently have visible work.
+	bankHead    []int32
+	bankTail    []int32
+	bankLen     []int32
+	activeBanks []int32
+	bankPos     []int32 // bank -> index into activeBanks, -1 if absent
+
+	// Arrival tracking: readyCount counts live requests with
+	// Arrival <= now; future holds the rest, ordered by arrival.
+	readyCount int
+	future     futureHeap
 
 	// now is the cycle of the most recently issued command.
 	now int64
@@ -143,12 +212,27 @@ func NewChannel(spec *Spec) *Channel {
 		t:              &spec.Timing,
 		window:         DefaultWindow,
 		refreshEnabled: true,
+		freeHead:       noSlot,
+		head:           noSlot,
+		tail:           noSlot,
+		visTail:        noSlot,
 	}
 	c.ranks = make([]rank, spec.Geometry.RanksPerChannel)
 	c.nextMAC = make([]int64, spec.Geometry.RanksPerChannel)
 	for i := range c.ranks {
 		c.ranks[i] = newRank(spec.Geometry.BanksPerRank, spec.Timing.TREFI)
 	}
+	nb := spec.Geometry.RanksPerChannel * spec.Geometry.BanksPerRank
+	c.bankHead = make([]int32, nb)
+	c.bankTail = make([]int32, nb)
+	c.bankLen = make([]int32, nb)
+	c.bankPos = make([]int32, nb)
+	for i := 0; i < nb; i++ {
+		c.bankHead[i] = noSlot
+		c.bankTail[i] = noSlot
+		c.bankPos[i] = -1
+	}
+	c.activeBanks = make([]int32, 0, nb)
 	return c
 }
 
@@ -159,11 +243,23 @@ func (c *Channel) SetRefreshEnabled(v bool) { c.refreshEnabled = v }
 func (c *Channel) SetRowPolicy(p RowPolicy) { c.rowPolicy = p }
 
 // SetWindow sets the FR-FCFS reorder window; w < 1 means strict FCFS.
+// The visible-window boundary is rebuilt, so SetWindow may be called with
+// requests already queued.
 func (c *Channel) SetWindow(w int) {
 	if w < 1 {
 		w = 1
 	}
 	c.window = w
+	for c.visCount > w {
+		c.hideVisTail()
+	}
+	for c.visCount < w {
+		cand := c.firstInvisible()
+		if cand == noSlot {
+			break
+		}
+		c.makeVisible(cand)
+	}
 }
 
 // SetTracer attaches an observability tracer to the scheduler: counter
@@ -197,47 +293,242 @@ func (c *Channel) Now() int64 { return c.now }
 // mapping instead of rejecting it.
 func (c *Channel) NoteBadMapID() { c.stats.BadMapIDs++ }
 
-// Stats returns a snapshot of the channel statistics.
-func (c *Channel) Stats() ChannelStats {
-	s := c.stats
-	for i := range c.ranks {
-		s.Refreshes += c.ranks[i].refreshes
-	}
-	return s
+// Stats returns a snapshot of the channel statistics. The snapshot is a
+// pure copy: all counters (including refreshes) are folded into it at
+// command-apply time, so calling Stats repeatedly — or merging snapshots
+// taken at different times with Merge — never double-counts.
+func (c *Channel) Stats() ChannelStats { return c.stats }
+
+// chanLocalValid reports whether the channel-local coordinates of a are
+// inside the geometry (the channel index is routed by the controller and
+// not re-checked here).
+func (a Addr) chanLocalValid(g Geometry) bool {
+	return a.Rank >= 0 && a.Rank < g.RanksPerChannel &&
+		a.Bank >= 0 && a.Bank < g.BanksPerRank &&
+		a.Row >= 0 && a.Row < g.Rows &&
+		a.Column >= 0 && a.Column < g.ColumnsPerRow()
+}
+
+// addrRangeError builds the enqueue rejection error for an address.
+func addrRangeError(a Addr) error {
+	return fmt.Errorf("dram: request address %v outside geometry", a)
 }
 
 // Enqueue adds a request to the channel queue. Requests must target this
 // channel's rank/bank/row space; the channel index in the address is not
-// re-checked.
+// re-checked. The request's Done field is written back on completion.
 func (c *Channel) Enqueue(r *Request) error {
-	g := c.spec.Geometry
-	a := r.Addr
-	if a.Rank < 0 || a.Rank >= g.RanksPerChannel ||
-		a.Bank < 0 || a.Bank >= g.BanksPerRank ||
-		a.Row < 0 || a.Row >= g.Rows ||
-		a.Column < 0 || a.Column >= g.ColumnsPerRow() {
-		return fmt.Errorf("dram: request address %v outside geometry", a)
+	if !r.Addr.chanLocalValid(c.spec.Geometry) {
+		return addrRangeError(r.Addr)
 	}
-	c.queue = append(c.queue, pendingReq{req: r})
+	c.push(*r, r)
+	return nil
+}
+
+// EnqueueValue adds a request by value: the scheduler keeps its own copy
+// and does not report the completion cycle back to the caller (it still
+// lands in Stats().LastDone). This is the allocation-free enqueue path
+// for streaming producers that only need aggregate results.
+func (c *Channel) EnqueueValue(r Request) error {
+	if !r.Addr.chanLocalValid(c.spec.Geometry) {
+		return addrRangeError(r.Addr)
+	}
+	c.push(r, nil)
 	return nil
 }
 
 // Pending returns the number of queued requests.
-func (c *Channel) Pending() int { return len(c.queue) }
+func (c *Channel) Pending() int { return c.count }
+
+// PendingReady returns the number of queued requests that have arrived by
+// the current clock and can therefore be scheduled without advancing time
+// to a future arrival. Co-schedulers use it to interleave SoC requests
+// with PIM work. The count is tracked incrementally (O(1) here).
+func (c *Channel) PendingReady() int { return c.readyCount }
+
+// bankIndex returns the per-channel dense bank index of a.
+func (c *Channel) bankIndex(a Addr) int32 {
+	return int32(a.Rank*c.spec.Geometry.BanksPerRank + a.Bank)
+}
+
+// allocSlot returns a free slot index, growing the pool if needed.
+func (c *Channel) allocSlot() int32 {
+	if s := c.freeHead; s != noSlot {
+		c.freeHead = c.slots[s].next
+		return s
+	}
+	c.slots = append(c.slots, slot{})
+	return int32(len(c.slots) - 1)
+}
+
+// push appends one request to the queue tail.
+func (c *Channel) push(r Request, user *Request) {
+	s := c.allocSlot()
+	sl := &c.slots[s]
+	sl.req = r
+	sl.user = user
+	sl.activated = false
+	sl.ready = false
+	sl.pos = c.seq
+	c.seq++
+	sl.next, sl.prev = noSlot, noSlot
+	sl.bnext, sl.bprev = noSlot, noSlot
+	if c.tail == noSlot {
+		c.head, c.tail = s, s
+	} else {
+		c.slots[c.tail].next = s
+		sl.prev = c.tail
+		c.tail = s
+	}
+	c.count++
+	if c.visCount < c.window {
+		c.makeVisible(s)
+	}
+	if r.Arrival <= c.now {
+		sl.ready = true
+		c.readyCount++
+	} else {
+		c.future.push(futureArrival{arrival: r.Arrival, slot: s, gen: sl.gen})
+	}
+}
+
+// firstInvisible returns the first queue entry beyond the visible window
+// (noSlot if the window covers the whole queue).
+func (c *Channel) firstInvisible() int32 {
+	if c.visTail == noSlot {
+		return c.head
+	}
+	return c.slots[c.visTail].next
+}
+
+// makeVisible extends the visible window by one entry: s must be the
+// first invisible queue entry. It is appended to its bank's visible list
+// (entries become visible in FCFS order, so appending keeps the list
+// sorted by pos).
+func (c *Channel) makeVisible(s int32) {
+	sl := &c.slots[s]
+	b := c.bankIndex(sl.req.Addr)
+	if t := c.bankTail[b]; t == noSlot {
+		c.bankHead[b], c.bankTail[b] = s, s
+		c.bankPos[b] = int32(len(c.activeBanks))
+		c.activeBanks = append(c.activeBanks, b)
+	} else {
+		c.slots[t].bnext = s
+		sl.bprev = t
+		c.bankTail[b] = s
+	}
+	c.bankLen[b]++
+	c.visTail = s
+	c.visCount++
+}
+
+// bankUnlink removes a visible entry from its bank list, retiring the
+// bank from the active set when its last visible entry leaves.
+func (c *Channel) bankUnlink(s int32) {
+	sl := &c.slots[s]
+	b := c.bankIndex(sl.req.Addr)
+	if sl.bprev != noSlot {
+		c.slots[sl.bprev].bnext = sl.bnext
+	} else {
+		c.bankHead[b] = sl.bnext
+	}
+	if sl.bnext != noSlot {
+		c.slots[sl.bnext].bprev = sl.bprev
+	} else {
+		c.bankTail[b] = sl.bprev
+	}
+	sl.bnext, sl.bprev = noSlot, noSlot
+	c.bankLen[b]--
+	if c.bankLen[b] == 0 {
+		i := c.bankPos[b]
+		last := c.activeBanks[len(c.activeBanks)-1]
+		c.activeBanks[i] = last
+		c.bankPos[last] = i
+		c.activeBanks = c.activeBanks[:len(c.activeBanks)-1]
+		c.bankPos[b] = -1
+	}
+}
+
+// hideVisTail shrinks the visible window by one entry (SetWindow only).
+func (c *Channel) hideVisTail() {
+	s := c.visTail
+	c.bankUnlink(s)
+	c.visTail = c.slots[s].prev
+	c.visCount--
+}
+
+// remove completes and frees a visible queue entry in O(1), sliding the
+// visible window forward over the next invisible entry (if any).
+func (c *Channel) remove(s int32) {
+	sl := &c.slots[s]
+	if sl.ready {
+		c.readyCount--
+	}
+	c.bankUnlink(s)
+	if c.visTail == s {
+		c.visTail = sl.prev
+	}
+	if sl.prev != noSlot {
+		c.slots[sl.prev].next = sl.next
+	} else {
+		c.head = sl.next
+	}
+	if sl.next != noSlot {
+		c.slots[sl.next].prev = sl.prev
+	} else {
+		c.tail = sl.prev
+	}
+	c.count--
+	c.visCount--
+	if c.visCount < c.window {
+		if cand := c.firstInvisible(); cand != noSlot {
+			c.makeVisible(cand)
+		}
+	}
+	sl.user = nil
+	sl.gen++
+	sl.next = c.freeHead
+	c.freeHead = s
+}
+
+// advanceNow moves the channel clock forward to cycle t, promoting
+// future arrivals that have now been reached into the ready count. All
+// clock advances funnel through here so PendingReady stays exact.
+func (c *Channel) advanceNow(t int64) {
+	if t <= c.now {
+		return
+	}
+	c.now = t
+	for len(c.future) > 0 && c.future[0].arrival <= t {
+		fa := c.future.pop()
+		sl := &c.slots[fa.slot]
+		// A stale heap entry (slot since completed and reused) is
+		// recognized by its generation stamp and dropped.
+		if sl.gen == fa.gen && !sl.ready {
+			sl.ready = true
+			c.readyCount++
+		}
+	}
+}
 
 // candidate is one issuable command considered by the scheduler.
 type candidate struct {
 	kind     CommandKind
-	queueIdx int
+	slot     int32
+	pos      uint64
 	earliest int64
-	// rowHit marks a column command that needed no ACT.
-	rowHit bool
+}
+
+// better reports whether (e, pos) beats cand under the FR-FCFS total
+// order: earlier issue cycle first, then FCFS position.
+func (cand *candidate) better(e int64, pos uint64) bool {
+	return e < cand.earliest || (e == cand.earliest && pos < cand.pos)
 }
 
 // Drain runs the scheduler until the queue is empty and returns the cycle
 // at which the last request's data burst completed.
 func (c *Channel) Drain() int64 {
-	for len(c.queue) > 0 {
+	for c.count > 0 {
 		c.step()
 	}
 	return c.stats.LastDone
@@ -246,22 +537,9 @@ func (c *Channel) Drain() int64 {
 // DrainUpTo runs until at most n requests remain (used by streaming
 // producers to bound queue growth).
 func (c *Channel) DrainUpTo(n int) {
-	for len(c.queue) > n {
+	for c.count > n {
 		c.step()
 	}
-}
-
-// PendingReady counts queued requests that have arrived by the current
-// clock and can therefore be scheduled without advancing time to a future
-// arrival. Co-schedulers use it to interleave SoC requests with PIM work.
-func (c *Channel) PendingReady() int {
-	n := 0
-	for i := range c.queue {
-		if c.queue[i].req.Arrival <= c.now {
-			n++
-		}
-	}
-	return n
 }
 
 // StepOne issues exactly one command (or performs one refresh/idle jump)
@@ -273,13 +551,14 @@ func (c *Channel) StepOne() {
 
 // step issues exactly one command (or performs one refresh).
 func (c *Channel) step() {
-	if len(c.queue) == 0 {
+	if c.count == 0 {
 		return
 	}
 	if c.refreshEnabled {
 		for ri := range c.ranks {
 			if c.ranks[ri].refreshDue(c.now) {
 				c.ranks[ri].applyRefresh(c.now, c.t)
+				c.stats.Refreshes++
 				if c.tr != nil {
 					c.tr.InstantArg(c.tracePID, 0, "refresh",
 						float64(c.now)*c.traceUSPerCyc, "rank", float64(ri))
@@ -290,15 +569,11 @@ func (c *Channel) step() {
 
 	best, ok := c.pickCommand()
 	if !ok {
-		// Nothing arrived yet: jump to the first arrival.
-		var minArr int64 = -1
-		for i := range c.queue {
-			if minArr < 0 || c.queue[i].req.Arrival < minArr {
-				minArr = c.queue[i].req.Arrival
-			}
-		}
-		if minArr > c.now {
-			c.now = minArr
+		// Nothing issuable: every queued request is still in the
+		// future. The earliest pending arrival is the heap minimum —
+		// tracked incrementally, no queue rescan.
+		if len(c.future) > 0 {
+			c.advanceNow(c.future[0].arrival)
 		}
 		return
 	}
@@ -307,91 +582,111 @@ func (c *Channel) step() {
 
 // pickCommand selects the next command FR-FCFS style. It returns false if
 // no request inside the window has arrived yet.
+//
+// The scheduler tracks the best column (data) command and the best
+// preparatory command (ACT/PRE) separately. A preparatory command is
+// issued ahead of a ready column command only when doing so does not
+// delay it — modeling the command bus issuing row and column commands
+// for different banks in parallel.
+//
+// Candidate selection walks only banks with visible work (the per-bank
+// lists), hoisting the bank- and channel-level earliest-issue floors out
+// of the per-request loop. The winner is the lexicographic minimum over
+// (earliest, FCFS position), which is iteration-order independent, so
+// walking bank-by-bank selects exactly the command the reference
+// scheduler's window-order scan selects.
 func (c *Channel) pickCommand() (candidate, bool) {
-	g := c.spec.Geometry
-	limit := len(c.queue)
-	if limit > c.window {
-		limit = c.window
-	}
-
-	// The scheduler tracks the best column (data) command and the best
-	// preparatory command (ACT/PRE) separately. A preparatory command is
-	// issued ahead of a ready column command only when doing so does not
-	// delay it — modeling the command bus issuing row and column commands
-	// for different banks in parallel.
 	var bestCol, bestPrep candidate
 	haveCol, havePrep := false, false
-	consider := func(cand candidate) {
-		isCol := cand.kind == CmdRD || cand.kind == CmdWR
-		if isCol {
-			if !haveCol || cand.earliest < bestCol.earliest ||
-				(cand.earliest == bestCol.earliest && cand.queueIdx < bestCol.queueIdx) {
-				bestCol = cand
-				haveCol = true
+
+	banksPerRank := c.spec.Geometry.BanksPerRank
+	rowCmdBase := maxi64(c.rowCmdEarliest(), c.now)
+	rdBase := c.columnEarliest(CmdRD)
+	wrBase := c.columnEarliest(CmdWR)
+
+	for _, bi := range c.activeBanks {
+		rk := &c.ranks[int(bi)/banksPerRank]
+		b := &rk.banks[int(bi)%banksPerRank]
+		head := c.bankHead[bi]
+
+		if b.state == bankActive {
+			open := b.openRow
+			// One scan: requests on the open row are column (row hit)
+			// candidates; the rest want a precharge, which is legal
+			// only if no visible request still targets the open row
+			// (the FR part — an open row with pending hits must not
+			// be closed).
+			rdEarliest := maxi64(b.nextRD, rdBase)
+			wrEarliest := maxi64(b.nextWR, wrBase)
+			preEarliest := maxi64(b.nextPRE, rowCmdBase)
+			var hit, pre candidate
+			haveHit, havePre := false, false
+			for s := head; s != noSlot; s = c.slots[s].bnext {
+				sl := &c.slots[s]
+				if sl.req.Addr.Row == open {
+					kind, e := CmdRD, rdEarliest
+					if sl.req.Write {
+						kind, e = CmdWR, wrEarliest
+					}
+					if sl.req.Arrival > e {
+						e = sl.req.Arrival
+					}
+					if !haveHit || hit.better(e, sl.pos) {
+						hit = candidate{kind: kind, slot: s, pos: sl.pos, earliest: e}
+						haveHit = true
+					}
+				} else if !haveHit {
+					// Collecting a PRE candidate is pointless once a
+					// hit is seen, but hits later in the list must
+					// still suppress it — resolved after the scan.
+					e := preEarliest
+					if sl.req.Arrival > e {
+						e = sl.req.Arrival
+					}
+					if !havePre || pre.better(e, sl.pos) {
+						pre = candidate{kind: CmdPRE, slot: s, pos: sl.pos, earliest: e}
+						havePre = true
+					}
+				}
 			}
-			return
+			if haveHit {
+				if !haveCol || bestCol.better(hit.earliest, hit.pos) {
+					bestCol = hit
+					haveCol = true
+				}
+			} else if havePre {
+				if !havePrep || bestPrep.better(pre.earliest, pre.pos) {
+					bestPrep = pre
+					havePrep = true
+				}
+			}
+			continue
 		}
-		if !havePrep || cand.earliest < bestPrep.earliest ||
-			(cand.earliest == bestPrep.earliest && cand.queueIdx < bestPrep.queueIdx) {
-			bestPrep = cand
-			havePrep = true
+
+		// Idle bank: every visible request is an ACT candidate; only
+		// the arrival varies, so the floors hoist out of the loop.
+		actBase := maxi64(maxi64(b.nextACT, rk.earliestACT()), rowCmdBase)
+		var act candidate
+		haveAct := false
+		for s := head; s != noSlot; s = c.slots[s].bnext {
+			sl := &c.slots[s]
+			e := actBase
+			if sl.req.Arrival > e {
+				e = sl.req.Arrival
+			}
+			if !haveAct || act.better(e, sl.pos) {
+				act = candidate{kind: CmdACT, slot: s, pos: sl.pos, earliest: e}
+				haveAct = true
+			}
+		}
+		if haveAct {
+			if !havePrep || bestPrep.better(act.earliest, act.pos) {
+				bestPrep = act
+				havePrep = true
+			}
 		}
 	}
 
-	// hitWanted marks banks for which some visible request targets the
-	// currently open row; such banks must not be precharged (FR part).
-	hitWanted := make(map[int]bool)
-	for i := 0; i < limit; i++ {
-		r := c.queue[i].req
-		b := &c.ranks[r.Addr.Rank].banks[r.Addr.Bank]
-		if b.state == bankActive && b.openRow == r.Addr.Row {
-			hitWanted[r.Addr.Rank*g.BanksPerRank+r.Addr.Bank] = true
-		}
-	}
-
-	for i := 0; i < limit; i++ {
-		r := c.queue[i].req
-		rk := &c.ranks[r.Addr.Rank]
-		b := &rk.banks[r.Addr.Bank]
-		arr := r.Arrival
-
-		switch {
-		case b.state == bankActive && b.openRow == r.Addr.Row:
-			kind := r.Kind()
-			e, legal := b.earliest(kind, r.Addr.Row)
-			if !legal {
-				continue
-			}
-			e = maxi64(e, c.columnEarliest(kind))
-			e = maxi64(e, arr)
-			consider(candidate{kind: kind, queueIdx: i, earliest: e, rowHit: !c.queue[i].activated})
-		case b.state == bankIdle:
-			e, legal := b.earliest(CmdACT, r.Addr.Row)
-			if !legal {
-				continue
-			}
-			e = maxi64(e, rk.earliestACT())
-			e = maxi64(e, c.rowCmdEarliest())
-			e = maxi64(e, c.now)
-			e = maxi64(e, arr)
-			consider(candidate{kind: CmdACT, queueIdx: i, earliest: e})
-		default:
-			// Conflict: open row differs. Only precharge if no
-			// visible request still wants the open row.
-			key := r.Addr.Rank*g.BanksPerRank + r.Addr.Bank
-			if hitWanted[key] {
-				continue
-			}
-			e, legal := b.earliest(CmdPRE, 0)
-			if !legal {
-				continue
-			}
-			e = maxi64(e, c.rowCmdEarliest())
-			e = maxi64(e, c.now)
-			e = maxi64(e, arr)
-			consider(candidate{kind: CmdPRE, queueIdx: i, earliest: e})
-		}
-	}
 	switch {
 	case haveCol && havePrep:
 		// Row and column commands ride different command slots; issue
@@ -410,16 +705,12 @@ func (c *Channel) pickCommand() (candidate, bool) {
 	}
 }
 
-// rowStillWanted reports whether any visible request targets the open row
-// of the bank at addr.
+// rowStillWanted reports whether any visible request targets row a.Row in
+// a's bank — an O(length of that bank's visible list) walk instead of an
+// O(window) queue rescan.
 func (c *Channel) rowStillWanted(a Addr) bool {
-	limit := len(c.queue)
-	if limit > c.window {
-		limit = c.window
-	}
-	for i := 0; i < limit; i++ {
-		q := c.queue[i].req.Addr
-		if q.Rank == a.Rank && q.Bank == a.Bank && q.Row == a.Row {
+	for s := c.bankHead[c.bankIndex(a)]; s != noSlot; s = c.slots[s].bnext {
+		if c.slots[s].req.Addr.Row == a.Row {
 			return true
 		}
 	}
@@ -453,8 +744,8 @@ func (c *Channel) columnEarliest(kind CommandKind) int64 {
 
 // issue applies the chosen command.
 func (c *Channel) issue(cand candidate) {
-	pr := &c.queue[cand.queueIdx]
-	r := pr.req
+	sl := &c.slots[cand.slot]
+	r := &sl.req
 	rk := &c.ranks[r.Addr.Rank]
 	b := &rk.banks[r.Addr.Bank]
 	at := cand.earliest
@@ -466,7 +757,7 @@ func (c *Channel) issue(cand candidate) {
 	case CmdACT:
 		b.apply(CmdACT, r.Addr.Row, at, c.t)
 		rk.recordACT(at, c.t)
-		pr.activated = true
+		sl.activated = true
 		c.stats.Activations++
 		c.consumeRowCmdSlot(at)
 	case CmdRD, CmdWR:
@@ -483,7 +774,7 @@ func (c *Channel) issue(cand candidate) {
 			done = at + int64(c.t.CWL) + int64(c.t.TCCD)
 			c.nextRead = maxi64(c.nextRead, at+int64(c.t.TCCD)+int64(c.t.TWTR))
 		}
-		if pr.activated {
+		if sl.activated {
 			c.stats.RowMisses++
 		} else {
 			c.stats.RowHits++
@@ -495,20 +786,67 @@ func (c *Channel) issue(cand candidate) {
 				c.traceCounters(at)
 			}
 		}
-		r.Done = done
+		if sl.user != nil {
+			sl.user.Done = done
+		}
 		if done > c.stats.LastDone {
 			c.stats.LastDone = done
 		}
-		// Remove from queue preserving order.
-		c.queue = append(c.queue[:cand.queueIdx], c.queue[cand.queueIdx+1:]...)
+		a := r.Addr
+		c.remove(cand.slot)
 		c.cmdBusFree = at + 1
-		if c.rowPolicy == CloseRow && !c.rowStillWanted(r.Addr) {
+		if c.rowPolicy == CloseRow && !c.rowStillWanted(a) {
 			// Auto-precharge (RDA/WRA): close as soon as the bank's
 			// timing constraints allow, without a command-bus slot.
 			b.apply(CmdPRE, 0, b.nextPRE, c.t)
 		}
 	}
-	if at > c.now {
-		c.now = at
+	c.advanceNow(at)
+}
+
+// futureHeap is a binary min-heap of pending arrivals, ordered by arrival
+// cycle. It is hand-rolled (instead of container/heap) so push and pop
+// stay allocation- and interface-free on the scheduler hot path.
+type futureHeap []futureArrival
+
+// push adds one entry, sifting it up.
+func (h *futureHeap) push(fa futureArrival) {
+	*h = append(*h, fa)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent].arrival <= s[i].arrival {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
 	}
+}
+
+// pop removes and returns the minimum entry. The caller must ensure the
+// heap is non-empty.
+func (h *futureHeap) pop() futureArrival {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	*h = s[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s[l].arrival < s[min].arrival {
+			min = l
+		}
+		if r < n && s[r].arrival < s[min].arrival {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
 }

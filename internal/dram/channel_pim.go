@@ -61,9 +61,7 @@ func (c *Channel) AllBankACT(rk, row int) (int64, error) {
 	r.recordACT(at, c.t)
 	c.stats.Activations += int64(len(r.banks))
 	c.cmdBusFree = at + 1
-	if at > c.now {
-		c.now = at
-	}
+	c.advanceNow(at)
 	return at, nil
 }
 
@@ -90,9 +88,7 @@ func (c *Channel) AllBankPRE(rk int) (int64, error) {
 		}
 	}
 	c.cmdBusFree = at + 1
-	if at > c.now {
-		c.now = at
-	}
+	c.advanceNow(at)
 	return at, nil
 }
 
@@ -126,9 +122,7 @@ func (c *Channel) AllBankMAC(rk, col, interval int) (int64, error) {
 	}
 	c.nextMAC[rk] = at + int64(interval)
 	c.cmdBusFree = at + 1
-	if at > c.now {
-		c.now = at
-	}
+	c.advanceNow(at)
 	return at, nil
 }
 
@@ -146,9 +140,7 @@ func (c *Channel) WriteGlobalBuffer(rk, bursts int) (int64, error) {
 		c.nextRead = maxi64(c.nextRead, at+int64(c.t.TCCD)+int64(c.t.TWTR))
 		c.cmdBusFree = at + 1
 		done = at + int64(c.t.CWL) + int64(c.t.TCCD)
-		if at > c.now {
-			c.now = at
-		}
+		c.advanceNow(at)
 		c.stats.Writes++
 		c.stats.DataBusCycles += int64(c.t.TCCD)
 	}
@@ -168,9 +160,7 @@ func (c *Channel) ReadMACResults(rk, bursts int) (int64, error) {
 		c.nextWrite = maxi64(c.nextWrite, at+int64(c.t.TCCD)+int64(c.t.TRTW))
 		c.cmdBusFree = at + 1
 		done = at + int64(c.t.CL) + int64(c.t.TCCD)
-		if at > c.now {
-			c.now = at
-		}
+		c.advanceNow(at)
 		c.stats.Reads++
 		c.stats.DataBusCycles += int64(c.t.TCCD)
 	}
@@ -180,9 +170,7 @@ func (c *Channel) ReadMACResults(rk, bursts int) (int64, error) {
 // AdvanceTo moves the channel clock forward to cycle `cycle` (no-op if the
 // clock is already past it). Used to model synchronization points.
 func (c *Channel) AdvanceTo(cycle int64) {
-	if cycle > c.now {
-		c.now = cycle
-	}
+	c.advanceNow(cycle)
 	if cycle > c.cmdBusFree {
 		c.cmdBusFree = cycle
 	}

@@ -1,9 +1,12 @@
 package dram
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 
 	"facil/internal/obs"
+	"facil/internal/parallel"
 )
 
 // Controller drives all channels of a memory system. Channels are
@@ -62,9 +65,51 @@ func (ctl *Controller) Enqueue(r *Request) error {
 	return ctl.channels[r.Addr.Channel].Enqueue(r)
 }
 
+// EnqueueValue routes a request by value: the scheduler keeps its own
+// copy and does not write the completion cycle back to the caller. This
+// is the allocation-free path for streaming producers.
+func (ctl *Controller) EnqueueValue(r Request) error {
+	if r.Addr.Channel < 0 || r.Addr.Channel >= len(ctl.channels) {
+		return fmt.Errorf("dram: channel %d out of range", r.Addr.Channel)
+	}
+	return ctl.channels[r.Addr.Channel].EnqueueValue(r)
+}
+
 // Drain runs every channel until its queue is empty and returns the cycle
 // at which the last request in the whole system completed.
+//
+// Channels are independent single-owner schedulers with merge-on-join
+// stats, so when more than one channel has pending work and GOMAXPROCS
+// allows it, they drain concurrently through internal/parallel — the
+// per-channel results (and therefore the returned cycle, Stats and every
+// request's Done) are byte-identical to a serial drain. The serial path
+// is kept when a tracer is attached: obs event timestamps stay correct
+// either way, but the trace ring buffer's drop order under overflow
+// depends on global emission order, which concurrency would scramble.
 func (ctl *Controller) Drain() int64 {
+	busy := 0
+	traced := false
+	for _, c := range ctl.channels {
+		if c.Pending() > 0 {
+			busy++
+		}
+		if c.tr != nil {
+			traced = true
+		}
+	}
+	if busy > 1 && !traced && runtime.GOMAXPROCS(0) > 1 {
+		dones, _ := parallel.Sweep(context.Background(), ctl.channels,
+			func(_ context.Context, c *Channel) (int64, error) {
+				return c.Drain(), nil
+			})
+		var last int64
+		for _, d := range dones {
+			if d > last {
+				last = d
+			}
+		}
+		return last
+	}
 	var last int64
 	for _, c := range ctl.channels {
 		if d := c.Drain(); d > last {

@@ -1,0 +1,334 @@
+package dram
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Differential tests pinning the optimized scheduler (Channel) against the
+// retained reference implementation (ReferenceChannel) command-for-command:
+// identical per-request Done cycles, identical clock, identical stats, for
+// randomized streams across row policies, window sizes and refresh modes.
+
+// diffStream generates one randomized request stream. shape selects the
+// address pattern; arrivals are paced so the stream mixes back-pressured
+// and idle phases (exercising both the FR-FCFS window and the idle jump).
+func diffStream(spec *Spec, shape string, n int, seed int64) []Request {
+	rng := rand.New(rand.NewSource(seed))
+	g := spec.Geometry
+	cols := g.ColumnsPerRow()
+	reqs := make([]Request, n)
+	var arrival int64
+	hotRows := []int{rng.Intn(g.Rows), rng.Intn(g.Rows), rng.Intn(g.Rows)}
+	for i := range reqs {
+		var a Addr
+		switch shape {
+		case "sequential":
+			lin := i
+			a.Column = lin % cols
+			lin /= cols
+			a.Bank = lin % g.BanksPerRank
+			lin /= g.BanksPerRank
+			a.Rank = lin % g.RanksPerChannel
+			lin /= g.RanksPerChannel
+			a.Row = lin % g.Rows
+		case "hotrow":
+			// 80% of traffic hits three hot rows in two banks.
+			if rng.Float64() < 0.8 {
+				a.Row = hotRows[rng.Intn(len(hotRows))]
+				a.Bank = rng.Intn(2)
+			} else {
+				a.Row = rng.Intn(g.Rows)
+				a.Bank = rng.Intn(g.BanksPerRank)
+			}
+			a.Rank = rng.Intn(g.RanksPerChannel)
+			a.Column = rng.Intn(cols)
+		default: // "random"
+			a.Rank = rng.Intn(g.RanksPerChannel)
+			a.Bank = rng.Intn(g.BanksPerRank)
+			a.Row = rng.Intn(g.Rows)
+			a.Column = rng.Intn(cols)
+		}
+		// Pacing: mostly dense, with occasional gaps that let the queue
+		// drain fully so the idle jump path fires.
+		switch {
+		case rng.Float64() < 0.02:
+			arrival += int64(rng.Intn(5000))
+		case rng.Float64() < 0.5:
+			arrival += int64(rng.Intn(4))
+		}
+		reqs[i] = Request{
+			Addr:    a,
+			Write:   rng.Float64() < 0.3,
+			Arrival: arrival,
+			ID:      int64(i),
+		}
+	}
+	return reqs
+}
+
+// runDifferential pumps the same stream through both schedulers in
+// identical waves (bounding the reference's O(n) queues) and asserts
+// bit-identical behavior. It also cross-checks PendingReady — the
+// incrementally tracked count against the reference's full rescan — at
+// every wave boundary.
+func runDifferential(t *testing.T, spec *Spec, reqs []Request, policy RowPolicy, window int, refresh bool) {
+	t.Helper()
+
+	opt := NewChannel(spec)
+	ref := NewReferenceChannel(spec)
+	opt.SetRowPolicy(policy)
+	ref.SetRowPolicy(policy)
+	opt.SetWindow(window)
+	ref.SetWindow(window)
+	opt.SetRefreshEnabled(refresh)
+	ref.SetRefreshEnabled(refresh)
+
+	optReqs := make([]Request, len(reqs))
+	refReqs := make([]Request, len(reqs))
+	copy(optReqs, reqs)
+	copy(refReqs, reqs)
+
+	const wave = 192
+	const drainTo = 48
+	for lo := 0; lo < len(reqs); lo += wave {
+		hi := lo + wave
+		if hi > len(reqs) {
+			hi = len(reqs)
+		}
+		for i := lo; i < hi; i++ {
+			if err := opt.Enqueue(&optReqs[i]); err != nil {
+				t.Fatalf("opt enqueue %d: %v", i, err)
+			}
+			if err := ref.Enqueue(&refReqs[i]); err != nil {
+				t.Fatalf("ref enqueue %d: %v", i, err)
+			}
+		}
+		opt.DrainUpTo(drainTo)
+		ref.DrainUpTo(drainTo)
+		if opt.Now() != ref.Now() {
+			t.Fatalf("clock diverged after wave at %d: opt=%d ref=%d", hi, opt.Now(), ref.Now())
+		}
+		if got, want := opt.PendingReady(), ref.PendingReady(); got != want {
+			t.Fatalf("PendingReady diverged after wave at %d: opt=%d ref=%d", hi, got, want)
+		}
+	}
+	optLast := opt.Drain()
+	refLast := ref.Drain()
+	if optLast != refLast {
+		t.Fatalf("final LastDone diverged: opt=%d ref=%d", optLast, refLast)
+	}
+	for i := range reqs {
+		if optReqs[i].Done != refReqs[i].Done {
+			t.Fatalf("request %d Done diverged: opt=%d ref=%d (addr=%+v write=%v arrival=%d)",
+				i, optReqs[i].Done, refReqs[i].Done, reqs[i].Addr, reqs[i].Write, reqs[i].Arrival)
+		}
+	}
+	if os, rs := opt.Stats(), ref.Stats(); os != rs {
+		t.Fatalf("stats diverged:\nopt: %+v\nref: %+v", os, rs)
+	}
+}
+
+// TestDifferentialScheduler sweeps the full config cross-product. Each
+// config sees >= 1e5 randomized requests in full mode (reduced under
+// -short to keep the race-enabled CI run fast).
+func TestDifferentialScheduler(t *testing.T) {
+	spec := smallSpec()
+	n := 100_000
+	if testing.Short() {
+		n = 8_000
+	}
+	shapes := []string{"sequential", "random", "hotrow"}
+	for _, policy := range []RowPolicy{OpenRow, CloseRow} {
+		for _, refresh := range []bool{true, false} {
+			for _, window := range []int{1, 4, 32, 128} {
+				for si, shape := range shapes {
+					policy, refresh, window, shape, si := policy, refresh, window, shape, si
+					name := fmt.Sprintf("policy=%d/refresh=%v/window=%d/%s", policy, refresh, window, shape)
+					t.Run(name, func(t *testing.T) {
+						per := n / len(shapes)
+						seed := int64(1000*si + window + 7)
+						if !refresh {
+							seed += 31
+						}
+						reqs := diffStream(&spec, shape, per, seed)
+						runDifferential(t, &spec, reqs, policy, window, refresh)
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialStepInterleave drives both schedulers one StepOne at a
+// time with enqueues interleaved mid-drain — the co-scheduler's usage
+// pattern — checking clock and ready-count equivalence at every step.
+func TestDifferentialStepInterleave(t *testing.T) {
+	spec := smallSpec()
+	reqs := diffStream(&spec, "hotrow", 4_000, 99)
+	opt := NewChannel(&spec)
+	ref := NewReferenceChannel(&spec)
+
+	optReqs := make([]Request, len(reqs))
+	refReqs := make([]Request, len(reqs))
+	copy(optReqs, reqs)
+	copy(refReqs, reqs)
+
+	next := 0
+	rng := rand.New(rand.NewSource(5))
+	for next < len(reqs) || opt.Pending() > 0 {
+		if next < len(reqs) && (opt.Pending() == 0 || rng.Intn(3) == 0) {
+			burst := 1 + rng.Intn(7)
+			for j := 0; j < burst && next < len(reqs); j++ {
+				if err := opt.Enqueue(&optReqs[next]); err != nil {
+					t.Fatal(err)
+				}
+				if err := ref.Enqueue(&refReqs[next]); err != nil {
+					t.Fatal(err)
+				}
+				next++
+			}
+		}
+		opt.StepOne()
+		ref.StepOne()
+		if opt.Now() != ref.Now() || opt.Pending() != ref.Pending() || opt.PendingReady() != ref.PendingReady() {
+			t.Fatalf("step diverged at req %d: now %d/%d pending %d/%d ready %d/%d",
+				next, opt.Now(), ref.Now(), opt.Pending(), ref.Pending(),
+				opt.PendingReady(), ref.PendingReady())
+		}
+	}
+	for i := range reqs {
+		if optReqs[i].Done != refReqs[i].Done {
+			t.Fatalf("request %d Done diverged: opt=%d ref=%d", i, optReqs[i].Done, refReqs[i].Done)
+		}
+	}
+	if os, rs := opt.Stats(), ref.Stats(); os != rs {
+		t.Fatalf("stats diverged:\nopt: %+v\nref: %+v", os, rs)
+	}
+}
+
+// TestSetWindowMidStream resizes the FR-FCFS window while requests are
+// queued, in both directions, and checks the schedulers stay locked. The
+// optimized scheduler rebuilds its visible-window lists on SetWindow; the
+// reference just changes a bound — both must agree afterwards.
+func TestSetWindowMidStream(t *testing.T) {
+	spec := smallSpec()
+	reqs := diffStream(&spec, "random", 6_000, 42)
+	opt := NewChannel(&spec)
+	ref := NewReferenceChannel(&spec)
+
+	optReqs := make([]Request, len(reqs))
+	refReqs := make([]Request, len(reqs))
+	copy(optReqs, reqs)
+	copy(refReqs, reqs)
+
+	windows := []int{64, 1, 16, 128, 2, 32}
+	wave := len(reqs) / len(windows)
+	for wi, w := range windows {
+		opt.SetWindow(w)
+		ref.SetWindow(w)
+		lo, hi := wi*wave, (wi+1)*wave
+		if wi == len(windows)-1 {
+			hi = len(reqs)
+		}
+		for i := lo; i < hi; i++ {
+			if err := opt.Enqueue(&optReqs[i]); err != nil {
+				t.Fatal(err)
+			}
+			if err := ref.Enqueue(&refReqs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Drain partially so resizes hit a non-empty queue.
+		opt.DrainUpTo(wave / 2)
+		ref.DrainUpTo(wave / 2)
+		if opt.Now() != ref.Now() {
+			t.Fatalf("clock diverged after window %d: opt=%d ref=%d", w, opt.Now(), ref.Now())
+		}
+	}
+	opt.Drain()
+	ref.Drain()
+	for i := range reqs {
+		if optReqs[i].Done != refReqs[i].Done {
+			t.Fatalf("request %d Done diverged: opt=%d ref=%d", i, optReqs[i].Done, refReqs[i].Done)
+		}
+	}
+	if os, rs := opt.Stats(), ref.Stats(); os != rs {
+		t.Fatalf("stats diverged:\nopt: %+v\nref: %+v", os, rs)
+	}
+}
+
+// FuzzSchedulerDifferential feeds fuzz-chosen interleavings of enqueue
+// waves and partial drains through both schedulers. Repeated
+// enqueue/drain cycles force the optimized scheduler's slot pool through
+// free-list reuse and its arrival heap through stale-entry invalidation —
+// the queue "wraparound" states a single monotone drain never reaches.
+func FuzzSchedulerDifferential(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(0), []byte{40, 10, 80, 200, 5, 60})
+	f.Add(int64(7), uint8(1), uint8(1), []byte{255, 0, 3, 3, 3, 128, 17})
+	f.Add(int64(42), uint8(3), uint8(2), []byte{16, 16, 16, 16, 16, 16, 16, 16})
+	f.Fuzz(func(t *testing.T, seed int64, mode, windowSel uint8, script []byte) {
+		if len(script) == 0 || len(script) > 64 {
+			t.Skip()
+		}
+		spec := smallSpec()
+		shape := []string{"sequential", "random", "hotrow"}[int(mode)%3]
+		window := []int{1, 4, 32, 128}[int(windowSel)%4]
+
+		opt := NewChannel(&spec)
+		ref := NewReferenceChannel(&spec)
+		opt.SetWindow(window)
+		ref.SetWindow(window)
+		if mode%2 == 0 {
+			opt.SetRowPolicy(CloseRow)
+			ref.SetRowPolicy(CloseRow)
+		}
+
+		// The script alternates enqueue-wave sizes and drain targets.
+		total := 0
+		for _, b := range script {
+			total += int(b)
+		}
+		if total == 0 {
+			t.Skip()
+		}
+		reqs := diffStream(&spec, shape, total, seed)
+		optReqs := make([]Request, len(reqs))
+		refReqs := make([]Request, len(reqs))
+		copy(optReqs, reqs)
+		copy(refReqs, reqs)
+
+		next := 0
+		for i, b := range script {
+			if i%2 == 0 {
+				for j := 0; j < int(b) && next < len(reqs); j++ {
+					if err := opt.Enqueue(&optReqs[next]); err != nil {
+						t.Fatal(err)
+					}
+					if err := ref.Enqueue(&refReqs[next]); err != nil {
+						t.Fatal(err)
+					}
+					next++
+				}
+			} else {
+				opt.DrainUpTo(int(b) / 4)
+				ref.DrainUpTo(int(b) / 4)
+			}
+			if opt.Now() != ref.Now() || opt.PendingReady() != ref.PendingReady() {
+				t.Fatalf("diverged at script[%d]: now %d/%d ready %d/%d",
+					i, opt.Now(), ref.Now(), opt.PendingReady(), ref.PendingReady())
+			}
+		}
+		opt.Drain()
+		ref.Drain()
+		for i := 0; i < next; i++ {
+			if optReqs[i].Done != refReqs[i].Done {
+				t.Fatalf("request %d Done diverged: opt=%d ref=%d", i, optReqs[i].Done, refReqs[i].Done)
+			}
+		}
+		if os, rs := opt.Stats(), ref.Stats(); os != rs {
+			t.Fatalf("stats diverged:\nopt: %+v\nref: %+v", os, rs)
+		}
+	})
+}

@@ -15,7 +15,6 @@ type rank struct {
 
 	// nextRefresh is the cycle at which the next REFab is due.
 	nextRefresh int64
-	refreshes   int64
 }
 
 func newRank(banksPerRank int, trefi int) rank {
@@ -77,19 +76,9 @@ func (r *rank) applyRefresh(now int64, t *Timing) int64 {
 	for i := range r.banks {
 		r.banks[i].apply(CmdREFab, 0, preDone, t)
 	}
-	r.refreshes++
 	r.nextRefresh += int64(t.TREFI)
 	if r.nextRefresh <= preDone {
 		r.nextRefresh = preDone + int64(t.TREFI)
 	}
 	return preDone + int64(t.TRFCab)
-}
-
-// activations sums bank activation counters.
-func (r *rank) activations() int64 {
-	var n int64
-	for i := range r.banks {
-		n += r.banks[i].activations
-	}
-	return n
 }

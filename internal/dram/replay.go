@@ -34,6 +34,63 @@ func replayWindow(spec Spec, reqs []*Request, window int) (int64, ChannelStats, 
 	return done, stats, nil
 }
 
+// RequestSource is a pull-style request generator: each call fills *r
+// with the next request of the stream and returns true, or returns false
+// when the stream is exhausted. Sources let arbitrarily long traces
+// replay without materializing a request slice — the replay loop reuses
+// one Request value for the whole stream.
+type RequestSource func(r *Request) bool
+
+// SliceSource adapts a value slice to a RequestSource. The slice is read,
+// never written (completion cycles are not reported back), so one slice
+// can feed many replays — including concurrent ones — without copying.
+func SliceSource(reqs []Request) RequestSource {
+	i := 0
+	return func(r *Request) bool {
+		if i >= len(reqs) {
+			return false
+		}
+		*r = reqs[i]
+		i++
+		return true
+	}
+}
+
+// ReplayStream is Replay for a pull source: requests are enqueued by
+// value as the source produces them, with the same bounded-queue drain
+// policy, so the schedule is identical to materializing the stream and
+// calling Replay.
+func ReplayStream(spec Spec, src RequestSource) (int64, ChannelStats, error) {
+	return replayStreamWindow(spec, src, 0)
+}
+
+func replayStreamWindow(spec Spec, src RequestSource, window int) (int64, ChannelStats, error) {
+	ctl, err := NewController(spec)
+	if err != nil {
+		return 0, ChannelStats{}, err
+	}
+	if window > 0 {
+		for i := 0; i < spec.Geometry.Channels; i++ {
+			ctl.Channel(i).SetWindow(window)
+		}
+	}
+	const maxQueue = 4096
+	var r Request
+	for src(&r) {
+		if err := ctl.EnqueueValue(r); err != nil {
+			return 0, ChannelStats{}, err
+		}
+		ch := ctl.channels[r.Addr.Channel]
+		if ch.Pending() > maxQueue {
+			ch.DrainUpTo(maxQueue / 2)
+		}
+	}
+	done := ctl.Drain()
+	stats := ctl.Stats()
+	Global.record(stats, done)
+	return done, stats, nil
+}
+
 // StreamResult summarizes a replayed stream.
 type StreamResult struct {
 	// Cycles is the completion cycle of the last request.
@@ -62,6 +119,26 @@ func MeasureStreamWindow(spec Spec, reqs []*Request, window int) (StreamResult, 
 	if err != nil {
 		return StreamResult{}, err
 	}
+	return summarize(spec, cycles, stats), nil
+}
+
+// MeasureStreamFunc replays a pull source on spec and summarizes achieved
+// bandwidth — MeasureStream without materializing the request slice.
+func MeasureStreamFunc(spec Spec, src RequestSource) (StreamResult, error) {
+	return MeasureStreamFuncWindow(spec, src, 0)
+}
+
+// MeasureStreamFuncWindow is MeasureStreamFunc with an explicit FR-FCFS
+// reorder window on every channel (0 keeps the default).
+func MeasureStreamFuncWindow(spec Spec, src RequestSource, window int) (StreamResult, error) {
+	cycles, stats, err := replayStreamWindow(spec, src, window)
+	if err != nil {
+		return StreamResult{}, err
+	}
+	return summarize(spec, cycles, stats), nil
+}
+
+func summarize(spec Spec, cycles int64, stats ChannelStats) StreamResult {
 	res := StreamResult{
 		Cycles: cycles,
 		Stats:  stats,
@@ -74,5 +151,5 @@ func MeasureStreamWindow(spec Spec, reqs []*Request, window int) (StreamResult, 
 	if hm := stats.RowHits + stats.RowMisses; hm > 0 {
 		res.RowHitRate = float64(stats.RowHits) / float64(hm)
 	}
-	return res, nil
+	return res
 }

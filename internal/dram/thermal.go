@@ -79,27 +79,33 @@ func throttleCycles(s Spec) (int64, error) {
 	one.Geometry.Channels = 1
 	g := one.Geometry
 	cols := g.ColumnsPerRow()
-	reqs := make([]*Request, 0, throttleStreamBursts)
 	// A row-major sequential sweep: every column of a row, then the
 	// next bank's row (round-robin over ranks and banks). The stream
-	// saturates the data bus, so any extra cycles are refresh tax.
-	row, bank, rank := 0, 0, 0
-	for i := 0; i < throttleStreamBursts; i += cols {
-		for c := 0; c < cols && len(reqs) < throttleStreamBursts; c++ {
-			reqs = append(reqs, &Request{Addr: Addr{
-				Channel: 0, Rank: rank, Bank: bank, Row: row, Column: c,
-			}})
+	// saturates the data bus, so any extra cycles are refresh tax. It
+	// is generated on demand, one burst per pull.
+	emitted, row, bank, rank, col := 0, 0, 0, 0, 0
+	done, _, err := ReplayStream(one, func(r *Request) bool {
+		if emitted >= throttleStreamBursts {
+			return false
 		}
-		bank++
-		if bank == g.BanksPerRank {
-			bank = 0
-			rank++
-			if rank == g.RanksPerChannel {
-				rank = 0
-				row = (row + 1) % g.Rows
+		*r = Request{Addr: Addr{
+			Channel: 0, Rank: rank, Bank: bank, Row: row, Column: col,
+		}}
+		emitted++
+		col++
+		if col == cols {
+			col = 0
+			bank++
+			if bank == g.BanksPerRank {
+				bank = 0
+				rank++
+				if rank == g.RanksPerChannel {
+					rank = 0
+					row = (row + 1) % g.Rows
+				}
 			}
 		}
-	}
-	done, _, err := Replay(one, reqs)
+		return true
+	})
 	return done, err
 }

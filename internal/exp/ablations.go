@@ -89,8 +89,10 @@ func (l *Lab) AblationDynamicThreshold(ctx context.Context) (Table, error) {
 }
 
 // relayoutStream builds the mixed read(PIM)/write(conventional) burst
-// stream used for re-layout measurements on a spec.
-func relayoutStream(spec dram.Spec, bytes int64) ([]*dram.Request, error) {
+// stream used for re-layout measurements on a spec. The requests are
+// values: replays read them through dram.SliceSource without mutating
+// them, so one stream can feed many sweep points concurrently.
+func relayoutStream(spec dram.Spec, bytes int64) ([]dram.Request, error) {
 	mc := mapping.MemoryConfig{Geometry: spec.Geometry, HugePageBytes: 2 << 20}
 	tab, err := mapping.NewTable(mc, mapping.AiMChunk(spec.Geometry))
 	if err != nil {
@@ -101,12 +103,12 @@ func relayoutStream(spec dram.Spec, bytes int64) ([]*dram.Request, error) {
 	dst := tab.Conventional()
 	tb := int64(spec.Geometry.TransferBytes)
 	dstBase := uint64(spec.Geometry.CapacityBytes() / 2)
-	var reqs []*dram.Request
+	reqs := make([]dram.Request, 0, 2*bytes/tb)
 	for i := int64(0); i < bytes/tb; i++ {
 		pa := uint64(i) * uint64(tb)
 		ra, _ := src.Translate(pa)
 		wa, _ := dst.Translate(dstBase + pa)
-		reqs = append(reqs, &dram.Request{Addr: ra}, &dram.Request{Addr: wa, Write: true})
+		reqs = append(reqs, dram.Request{Addr: ra}, dram.Request{Addr: wa, Write: true})
 	}
 	return reqs, nil
 }
@@ -127,14 +129,9 @@ func (l *Lab) AblationSchedulerWindow(ctx context.Context) (Table, error) {
 		Header: []string{"window", "bandwidth", "row hit rate"},
 	}
 	rows, err := sweep(ctx, l, "ablation-window", []int{1, 4, 16, 32, 128}, func(ctx context.Context, w int) ([]string, error) {
-		// Each point replays its own copy: requests are mutated by the
-		// scheduler (arrival bookkeeping), so points must not share them.
-		fresh := make([]*dram.Request, len(reqs))
-		for i, r := range reqs {
-			cp := *r
-			fresh[i] = &cp
-		}
-		res, err := dram.MeasureStreamWindow(spec, fresh, w)
+		// SliceSource replays enqueue by value, so sweep points share the
+		// request slice without copies or write races.
+		res, err := dram.MeasureStreamFuncWindow(spec, dram.SliceSource(reqs), w)
 		if err != nil {
 			return nil, err
 		}
@@ -187,7 +184,7 @@ func (l *Lab) AblationRowPolicy(ctx context.Context) (Table, error) {
 					Column:  i / (g.Channels * g.BanksPerRank) % 64,
 				}
 			}
-			if err := ctl.Enqueue(&dram.Request{Addr: a}); err != nil {
+			if err := ctl.EnqueueValue(dram.Request{Addr: a}); err != nil {
 				return 0, err
 			}
 		}
@@ -256,12 +253,17 @@ func (l *Lab) AblationConventionalMapping(ctx context.Context) (Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		var reqs []*dram.Request
-		for i := int64(0); i < (8<<20)/tb; i++ {
+		n := (8 << 20) / tb
+		var i int64
+		res, err := dram.MeasureStreamFunc(spec, func(r *dram.Request) bool {
+			if i >= n {
+				return false
+			}
 			a, _ := m.Translate(uint64(i) * uint64(tb))
-			reqs = append(reqs, &dram.Request{Addr: a})
-		}
-		res, err := dram.MeasureStream(spec, reqs)
+			*r = dram.Request{Addr: a}
+			i++
+			return true
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -305,12 +307,16 @@ func AblationXORHashing() (Table, error) {
 		Translate(uint64) (dram.Addr, int)
 	}
 	run := func(m translator) (float64, error) {
-		var reqs []*dram.Request
-		for i := int64(0); i < 4096; i++ {
+		var i int64
+		res, err := dram.MeasureStreamFunc(spec, func(r *dram.Request) bool {
+			if i >= 4096 {
+				return false
+			}
 			a, _ := m.Translate(uint64(i*stride) % uint64(g.CapacityBytes()))
-			reqs = append(reqs, &dram.Request{Addr: a, Arrival: i / int64(g.Channels)})
-		}
-		res, err := dram.MeasureStream(spec, reqs)
+			*r = dram.Request{Addr: a, Arrival: i / int64(g.Channels)}
+			i++
+			return true
+		})
 		if err != nil {
 			return 0, err
 		}

@@ -90,19 +90,28 @@ func (e *Engine) replay(src, dst mapping.MapID) (Result, error) {
 	srcMap := e.table.Lookup(src)
 	dstMap := e.table.Lookup(dst)
 	// Destination buffer sits in a different physical region so source
-	// reads and destination writes do not alias.
+	// reads and destination writes do not alias. The stream is generated
+	// on demand — read then write per burst — so the window never
+	// materializes as a request slice.
 	dstBase := uint64(e.spec.Geometry.CapacityBytes() / 2)
-	reqs := make([]*dram.Request, 0, 2*n)
-	for i := int64(0); i < n; i++ {
+	var i int64
+	write := false
+	sr, err := dram.MeasureStreamFunc(e.spec, func(r *dram.Request) bool {
+		if i >= n {
+			return false
+		}
 		pa := uint64(i) * uint64(tb)
-		ra, _ := srcMap.Translate(pa)
-		wa, _ := dstMap.Translate(dstBase + pa)
-		reqs = append(reqs,
-			&dram.Request{Addr: ra, Write: false},
-			&dram.Request{Addr: wa, Write: true},
-		)
-	}
-	sr, err := dram.MeasureStream(e.spec, reqs)
+		if !write {
+			ra, _ := srcMap.Translate(pa)
+			*r = dram.Request{Addr: ra, Write: false}
+		} else {
+			wa, _ := dstMap.Translate(dstBase + pa)
+			*r = dram.Request{Addr: wa, Write: true}
+			i++
+		}
+		write = !write
+		return true
+	})
 	if err != nil {
 		return Result{}, err
 	}
@@ -142,12 +151,16 @@ func (e *Engine) SequentialReadBandwidth(id mapping.MapID) (float64, error) {
 	tb := int64(g.TransferBytes)
 	n := e.sample / tb
 	m := e.table.Lookup(id)
-	reqs := make([]*dram.Request, 0, n)
-	for i := int64(0); i < n; i++ {
+	var i int64
+	sr, err := dram.MeasureStreamFunc(e.spec, func(r *dram.Request) bool {
+		if i >= n {
+			return false
+		}
 		a, _ := m.Translate(uint64(i) * uint64(tb))
-		reqs = append(reqs, &dram.Request{Addr: a})
-	}
-	sr, err := dram.MeasureStream(e.spec, reqs)
+		*r = dram.Request{Addr: a}
+		i++
+		return true
+	})
 	if err != nil {
 		return 0, err
 	}

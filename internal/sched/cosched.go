@@ -95,10 +95,10 @@ type Result struct {
 // socStream builds the background SoC request stream: random addresses
 // (conventional-mapping locality: sequential bursts with occasional
 // jumps) paced at the requested rate.
-func socStream(spec dram.Spec, w Workload) []*dram.Request {
+func socStream(spec dram.Spec, w Workload) []dram.Request {
 	rng := rand.New(rand.NewSource(w.Seed))
 	g := spec.Geometry
-	reqs := make([]*dram.Request, 0, w.SoCRequests)
+	reqs := make([]dram.Request, 0, w.SoCRequests)
 	row, bank, col := rng.Intn(g.Rows), rng.Intn(g.BanksPerRank), 0
 	var cycle float64
 	step := 1 / w.SoCRate
@@ -106,7 +106,7 @@ func socStream(spec dram.Spec, w Workload) []*dram.Request {
 		if rng.Float64() < 0.05 { // jump to a new row
 			row, bank, col = rng.Intn(g.Rows), rng.Intn(g.BanksPerRank), rng.Intn(g.ColumnsPerRow())
 		}
-		reqs = append(reqs, &dram.Request{
+		reqs = append(reqs, dram.Request{
 			Addr: dram.Addr{
 				Rank:   i % g.RanksPerChannel,
 				Bank:   bank,
@@ -172,15 +172,15 @@ func isolatedSoCLatency(spec dram.Spec, w Workload) (mean float64, err error) {
 	ch := dram.NewChannel(&spec)
 	ch.SetRefreshEnabled(false)
 	reqs := socStream(spec, w)
-	for _, r := range reqs {
-		if err := ch.Enqueue(r); err != nil {
+	for i := range reqs {
+		if err := ch.Enqueue(&reqs[i]); err != nil {
 			return 0, err
 		}
 	}
 	ch.Drain()
 	lat := make([]float64, len(reqs))
-	for i, r := range reqs {
-		lat[i] = float64(r.Done - r.Arrival)
+	for i := range reqs {
+		lat[i] = float64(reqs[i].Done - reqs[i].Arrival)
 	}
 	return stats.Mean(lat), nil
 }
@@ -209,8 +209,8 @@ func Cosimulate(spec dram.Spec, w Workload, policy Policy) (Result, error) {
 		ch.SetDualRowBuffer(true)
 	}
 	reqs := socStream(spec, w)
-	for _, r := range reqs {
-		if err := ch.Enqueue(r); err != nil {
+	for i := range reqs {
+		if err := ch.Enqueue(&reqs[i]); err != nil {
 			return Result{}, err
 		}
 	}
@@ -251,9 +251,9 @@ func Cosimulate(spec dram.Spec, w Workload, policy Policy) (Result, error) {
 		PIMSlowdown: float64(pimDone) / float64(basePIM),
 	}
 	lat := make([]float64, 0, len(reqs))
-	for _, r := range reqs {
-		if r.Done > 0 {
-			lat = append(lat, float64(r.Done-r.Arrival))
+	for i := range reqs {
+		if reqs[i].Done > 0 {
+			lat = append(lat, float64(reqs[i].Done-reqs[i].Arrival))
 			res.SoCFinished++
 		}
 	}

@@ -99,6 +99,32 @@ func TestSoCStreamPacing(t *testing.T) {
 	}
 }
 
+// TestInterleavePathConsumesReadyRequests pins the interleave mechanism
+// itself — the PendingReady/StepOne loop that slips SoC requests into
+// free command slots between PIM MACs, now backed by the scheduler's
+// incremental ready tracking. If interleaving broke (PendingReady stuck
+// at 0 mid-pass, or StepOne refusing queue work between all-bank ops),
+// every SoC request would wait for the PIM job tail and the mean latency
+// would be on the order of the whole job; with interleaving it must sit
+// far below that.
+func TestInterleavePathConsumesReadyRequests(t *testing.T) {
+	spec := schedSpec()
+	w := DefaultWorkload()
+	r, err := Cosimulate(spec, w, DualRowBuffer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SoCMeanLatency >= float64(r.PIMCycles)/2 {
+		t.Errorf("mean SoC latency %.0f suggests no interleaving (PIM job spans %d cycles)",
+			r.SoCMeanLatency, r.PIMCycles)
+	}
+	// P99 must also stay below the job span: interleaving serves the
+	// tail of the SoC stream during the job, not after it.
+	if r.SoCP99Latency >= float64(r.PIMCycles) {
+		t.Errorf("p99 SoC latency %.0f not below PIM job span %d", r.SoCP99Latency, r.PIMCycles)
+	}
+}
+
 func TestHigherSoCRateHurtsMore(t *testing.T) {
 	spec := schedSpec()
 	low := DefaultWorkload()

@@ -39,42 +39,62 @@ func (c *LayoutSlowdownConfig) defaults() {
 	}
 }
 
-// gemmWeightStream builds the burst stream of a tiled GEMM reading a
+// gemmWeightStream generates the burst stream of a tiled GEMM reading a
 // weight matrix with `rows` rows of `rowBytes` each: `streams` concurrent
 // row-walkers issuing round-robin. Requests are paced at the memory
 // system's peak consumption rate (`channels` bursts per cycle), so a
 // mapping that concentrates a tile's traffic on few channels exhibits the
 // queueing it would cause in hardware instead of being reordered across
-// the whole kernel.
+// the whole kernel. The stream is produced one burst per pull — it walks
+// row groups of `streams` rows concurrently, column-major across the
+// group (each "tick" advances every stream one burst) — so the window
+// never materializes as a request slice.
 func gemmWeightStream(m interface {
 	Translate(uint64) (dram.Addr, int)
-}, rows int, rowBytes int64, streams, channels int, limit int64, transfer int64) []*dram.Request {
+}, rows int, rowBytes int64, streams, channels int, limit int64, transfer int64) dram.RequestSource {
 	if streams > rows {
 		streams = rows
 	}
 	burstsPerRow := rowBytes / transfer
-	var reqs []*dram.Request
+	group, s := 0, 0
+	b := int64(0)
 	var emitted int64
-	// Walk row groups of `streams` rows concurrently, column-major
-	// across the group (each "tick" advances every stream one burst).
-	for group := 0; group*streams < rows && emitted*transfer < limit; group++ {
-		for b := int64(0); b < burstsPerRow && emitted*transfer < limit; b++ {
-			for s := 0; s < streams; s++ {
-				row := group*streams + s
-				if row >= rows {
-					break
+	return func(r *dram.Request) bool {
+		for {
+			if s == 0 {
+				// Tick boundary: the size limit gates new ticks (and new
+				// groups), never splits one — every stream in a started
+				// tick advances.
+				if b == 0 && (group*streams >= rows || emitted*transfer >= limit) {
+					return false
 				}
-				pa := uint64(int64(row)*rowBytes + b*transfer)
-				a, _ := m.Translate(pa)
-				reqs = append(reqs, &dram.Request{
-					Addr:    a,
-					Arrival: emitted / int64(channels),
-				})
-				emitted++
+				if b >= burstsPerRow || emitted*transfer >= limit {
+					group++
+					b = 0
+					continue
+				}
 			}
+			row := group*streams + s
+			if row >= rows {
+				s = 0
+				b++
+				continue
+			}
+			pa := uint64(int64(row)*rowBytes + b*transfer)
+			a, _ := m.Translate(pa)
+			*r = dram.Request{
+				Addr:    a,
+				Arrival: emitted / int64(channels),
+			}
+			emitted++
+			s++
+			if s == streams {
+				s = 0
+				b++
+			}
+			return true
 		}
 	}
-	return reqs
 }
 
 // MeasureLayoutSlowdown returns the fractional slowdown of the GEMM's
@@ -105,13 +125,13 @@ func MeasureLayoutSlowdown(p Platform, op Linear, cfg LayoutSlowdownConfig) (mem
 
 	run := func(id mapping.MapID) (float64, error) {
 		m := tab.Lookup(id)
-		reqs := gemmWeightStream(m, op.Out, rowBytes, cfg.Streams, p.Spec.Geometry.Channels, cfg.SampleBytes, transfer)
-		if len(reqs) == 0 {
-			return 0, fmt.Errorf("soc: empty GEMM stream")
-		}
-		res, err := dram.MeasureStream(p.Spec, reqs)
+		src := gemmWeightStream(m, op.Out, rowBytes, cfg.Streams, p.Spec.Geometry.Channels, cfg.SampleBytes, transfer)
+		res, err := dram.MeasureStreamFunc(p.Spec, src)
 		if err != nil {
 			return 0, err
+		}
+		if res.Bytes == 0 {
+			return 0, fmt.Errorf("soc: empty GEMM stream")
 		}
 		return res.BandwidthGBs, nil
 	}

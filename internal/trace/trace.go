@@ -89,14 +89,15 @@ func Write(w io.Writer, entries []Entry) error {
 
 // ToRequests translates entries into DRAM requests through a mapping.
 // Addresses beyond the geometry's capacity wrap (common in synthetic
-// traces).
-func ToRequests(entries []Entry, m *addr.Mapping) []*dram.Request {
+// traces). The result is a value slice, replayable without copies via
+// dram.SliceSource.
+func ToRequests(entries []Entry, m *addr.Mapping) []dram.Request {
 	g := m.Geometry()
 	cap := uint64(g.CapacityBytes())
-	out := make([]*dram.Request, len(entries))
+	out := make([]dram.Request, len(entries))
 	for i, e := range entries {
 		a, _ := m.Translate(e.Phys % cap)
-		out[i] = &dram.Request{Addr: a, Write: e.Write, Arrival: e.Arrival}
+		out[i] = dram.Request{Addr: a, Write: e.Write, Arrival: e.Arrival}
 	}
 	return out
 }

@@ -122,7 +122,7 @@ func TestTraceThroughSimulator(t *testing.T) {
 		t.Fatal(err)
 	}
 	entries := Sequential(256<<10, spec.Geometry.TransferBytes, false)
-	res, err := dram.MeasureStream(spec, ToRequests(entries, m))
+	res, err := dram.MeasureStreamFunc(spec, dram.SliceSource(ToRequests(entries, m)))
 	if err != nil {
 		t.Fatal(err)
 	}

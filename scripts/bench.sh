@@ -1,0 +1,21 @@
+#!/bin/sh
+# bench.sh — regenerate the DRAM scheduler perf baseline (BENCH_dram.json)
+# and print the raw go-test micro-benchmarks for eyeballing.
+#
+# Run from the repo root on an otherwise idle machine:
+#
+#   ./scripts/bench.sh            # refresh BENCH_dram.json + print benches
+#
+# BENCH_dram.json is the committed perf trajectory: ns/request and
+# allocs/op for the optimized channel scheduler, the retained reference
+# scheduler it is measured against, streaming-replay throughput, and the
+# wall times of the fig6/tab1 headline experiments. Compare before/after
+# numbers when touching internal/dram.
+set -eu
+cd "$(dirname "$0")/.."
+
+go test ./internal/dram/ -run '^$' -bench 'BenchmarkChannelDrain|BenchmarkReferenceChannelDrain|BenchmarkReplayStream' -benchmem
+
+go run ./cmd/facilsim -bench > BENCH_dram.json.tmp
+mv BENCH_dram.json.tmp BENCH_dram.json
+cat BENCH_dram.json
