@@ -118,13 +118,22 @@ func (a *Arena) Translate(va uint64) (DRAMLocation, error) {
 	}, nil
 }
 
-// ElementLocation resolves matrix element (row, col) of a tensor.
-func (a *Arena) ElementLocation(t *Tensor, row, col int) (DRAMLocation, error) {
+// ElementVA returns the virtual address of matrix element (row, col),
+// accounting for row padding.
+func (a *Arena) ElementVA(t *Tensor, row, col int) (uint64, error) {
 	if row < 0 || row >= t.Rows || col < 0 || col >= t.Cols {
-		return DRAMLocation{}, fmt.Errorf("facil: element (%d,%d) outside %dx%d", row, col, t.Rows, t.Cols)
+		return 0, fmt.Errorf("facil: element (%d,%d) outside %dx%d", row, col, t.Rows, t.Cols)
 	}
 	m := mapping.MatrixConfig{Rows: t.Rows, Cols: t.Cols, DTypeBytes: t.DTypeBytes}
-	va := t.VA + uint64(row)*uint64(m.PaddedRowBytes()) + uint64(col)*uint64(t.DTypeBytes)
+	return t.VA + uint64(row)*uint64(m.PaddedRowBytes()) + uint64(col)*uint64(t.DTypeBytes), nil
+}
+
+// ElementLocation resolves matrix element (row, col) of a tensor.
+func (a *Arena) ElementLocation(t *Tensor, row, col int) (DRAMLocation, error) {
+	va, err := a.ElementVA(t, row, col)
+	if err != nil {
+		return DRAMLocation{}, err
+	}
 	return a.Translate(va)
 }
 

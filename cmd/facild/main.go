@@ -1,0 +1,93 @@
+// Command facild is the long-running serving daemon over the same run
+// engine as the facilsim CLI. Clients POST scenarios (the JSON schema
+// facilsim records with -record) to /runs, a single background runner
+// advances them in virtual time, and the process exposes live
+// observability while runs are in flight:
+//
+//	GET  /metrics           lock-free counter snapshot (serve, DRAM, trace, runs)
+//	GET  /trace             Chrome trace-event timeline (load in Perfetto)
+//	GET  /runs              run lifecycle records; /runs/{id}/report for results
+//	POST /reload            swap the pending queue for a new scenario
+//	GET  /experiments       the experiment catalog (same source as facilsim -list)
+//	GET  /version           build identity; GET /healthz liveness
+//	GET  /pimalloc          live walkthrough of the public Arena mapping API
+//
+// SIGTERM/SIGINT drain gracefully: admission closes (503 on POST),
+// queued runs are canceled, the in-flight run completes and flushes its
+// manifest/exports, then the process exits 0. See DESIGN.md §11 and
+// EXPERIMENTS.md for curl examples.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"facil/internal/daemon"
+	"facil/internal/obs"
+)
+
+func main() {
+	os.Exit(mainErr())
+}
+
+// mainErr is main with an exit code so deferred cleanup runs.
+func mainErr() int {
+	addr := flag.String("addr", "localhost:8080", "HTTP listen address")
+	par := flag.Int("par", 0, "max concurrent sweep workers per run (0 = GOMAXPROCS)")
+	traceBuf := flag.Int("tracebuf", obs.DefaultCapacity, "trace ring-buffer capacity in events")
+	outDir := flag.String("o", "", "mirror each run's result files plus manifest.json into DIR/<run-id>/")
+	version := flag.Bool("version", false, "print the module version and build info, then exit")
+	flag.Parse()
+
+	if *version {
+		fmt.Println(obs.CurrentBuild())
+		return 0
+	}
+
+	log.SetPrefix("facild: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	srv := daemon.New(daemon.Options{
+		Parallelism: *par,
+		TraceBuf:    *traceBuf,
+		OutDir:      *outDir,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("listening on %s (%s)", *addr, obs.CurrentBuild())
+
+	select {
+	case err := <-errc:
+		log.Printf("serve: %v", err)
+		srv.Close()
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: close admission, let the in-flight run complete
+	// and flush its exports, then shut the listener down.
+	log.Printf("signal received, draining")
+	srv.Drain()
+	srv.Close()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("shutdown: %v", err)
+		return 1
+	}
+	log.Printf("drained cleanly")
+	return 0
+}

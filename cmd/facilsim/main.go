@@ -4,13 +4,20 @@
 // Usage:
 //
 //	facilsim [-list] [-par N] [-v] [-format table|csv|json] [-trace FILE]
-//	         [-o DIR] [-id LIST] [-queries N] [-seed S] [-scale K] [experiment ...]
+//	         [-o DIR] [-id LIST] [-queries N] [-seed S] [-scale K]
+//	         [-scenario FILE] [-record FILE] [experiment ...]
 //
-// With no arguments every experiment runs in DESIGN.md order. Experiment
-// identifiers: fig2a fig2b fig3 fig6 tab1 tab2 tab3 fig13 fig14 fig15
-// fig16 maxmap ablations cosched quant pimstyle energy serving serving2
-// resilience. -id accepts the same identifiers as a comma-separated list
-// and merges with positional arguments.
+// With no arguments every experiment runs in DESIGN.md order. Run
+// `facilsim -list` for the experiment identifiers (rendered from the
+// same registry the facild daemon's GET /experiments serves). -id
+// accepts a comma-separated identifier list and merges with positional
+// arguments.
+//
+// The CLI is a thin shell over the internal/run engine: flags assemble
+// a run.Scenario, the engine executes it, and the same scenario (as
+// JSON) can be replayed here with -scenario FILE or POSTed unchanged to
+// a facild daemon. -record FILE writes the effective scenario before
+// running, so any invocation can be captured for replay.
 //
 // Output selection:
 //
@@ -50,7 +57,7 @@
 //
 // -bench runs the DRAM scheduler perf baseline (micro-benchmarks plus
 // fig6/tab1 wall times) and prints BENCH_dram.json to stdout; see
-// scripts/bench.sh.
+// scripts/bench.sh. -version prints the module version and build info.
 //
 // A failing experiment does not abort the run: remaining identifiers
 // still execute, the failures are summarized on stderr at the end
@@ -65,22 +72,17 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"runtime"
 	"runtime/pprof"
-	"strconv"
 	"strings"
 	"sync"
 	"syscall"
-	"time"
 
 	"facil/internal/dram"
 	"facil/internal/engine"
 	"facil/internal/exp"
 	"facil/internal/obs"
-	"facil/internal/parallel"
-	"facil/internal/serve"
-	"facil/internal/workload"
+	"facil/internal/run"
 )
 
 func main() {
@@ -91,10 +93,13 @@ func main() {
 // run before the process exits.
 func mainErr() int {
 	list := flag.Bool("list", false, "list experiment identifiers and exit")
+	version := flag.Bool("version", false, "print the module version and build info, then exit")
 	format := flag.String("format", "table", "output format: table, csv or json")
 	csvOut := flag.Bool("csv", false, "deprecated alias for -format csv")
 	outDir := flag.String("o", "", "write per-experiment result files plus manifest.json into this directory")
 	idList := flag.String("id", "", "comma-separated experiment identifiers (merged with positional arguments)")
+	scenarioFile := flag.String("scenario", "", "replay a recorded scenario file (explicit flags override its fields)")
+	recordFile := flag.String("record", "", "record the effective scenario as JSON into this file before running")
 	traceFile := flag.String("trace", "", "write a Chrome trace-event timeline of trace-aware experiments to this file")
 	traceBuf := flag.Int("tracebuf", obs.DefaultCapacity, "trace ring-buffer capacity in events (oldest evicted on overflow)")
 	par := flag.Int("par", 0, "max concurrent sweep workers (0 = GOMAXPROCS, 1 = serial)")
@@ -121,9 +126,13 @@ func mainErr() int {
 	}
 	flag.Parse()
 
+	if *version {
+		fmt.Println(obs.CurrentBuild())
+		return 0
+	}
 	if *list {
-		for _, id := range exp.AllIDs {
-			fmt.Println(id)
+		for _, info := range exp.Catalog() {
+			fmt.Printf("%-10s  %s\n", info.ID, info.Title)
 		}
 		return 0
 	}
@@ -181,91 +190,107 @@ func mainErr() int {
 		return runBench(ctx)
 	}
 
+	// Assemble the scenario: a replayed file forms the base, explicit
+	// flags override its fields, and positional/-id identifiers replace
+	// its experiment list when given.
+	sc := run.DefaultScenario()
+	if *scenarioFile != "" {
+		var err error
+		if sc, err = run.Load(*scenarioFile); err != nil {
+			fmt.Fprintf(os.Stderr, "facilsim: -scenario: %v\n", err)
+			return 1
+		}
+	}
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["queries"] {
+		sc.Queries = *queries
+	}
+	if set["seed"] {
+		sc.Seed = *seed
+	}
+	if set["scale"] {
+		sc.Scale = *scale
+	}
+	if set["rates"] {
+		sc.Rates = *rates
+	}
+	if set["replicas"] {
+		sc.Replicas = *replicas
+	}
+	if set["modes"] {
+		sc.Modes = *modes
+	}
+	if set["queuecap"] {
+		sc.QueueCap = *queueCap
+	}
+	if set["slo"] {
+		sc.SLO = *slo
+	}
+	if set["faults"] {
+		sc.Faults = *faults
+	}
+	if set["faultseed"] {
+		sc.FaultSeed = *faultSeed
+	}
+	if set["policy"] {
+		sc.Policy = *policy
+	}
 	ids := flag.Args()
 	for _, id := range strings.Split(*idList, ",") {
 		if id = strings.TrimSpace(id); id != "" {
 			ids = append(ids, id)
 		}
 	}
-	if len(ids) == 0 {
-		ids = exp.AllIDs
+	if len(ids) > 0 {
+		sc.Experiments = ids
+	}
+	if *recordFile != "" {
+		if err := sc.Save(*recordFile); err != nil {
+			fmt.Fprintf(os.Stderr, "facilsim: -record: %v\n", err)
+			return 1
+		}
 	}
 
-	manifest := obs.NewManifest("facilsim", os.Args[1:])
-	manifest.Seed = *seed
-	manifest.Parallelism = *par
-	manifest.Experiments = ids
-
-	lab := exp.NewLab(engine.DefaultConfig())
-	lab.SetParallelism(*par)
 	var tracer *obs.Tracer
 	if *traceFile != "" {
 		tracer = obs.New(*traceBuf)
-		lab.SetTracer(tracer)
 	}
-	ov := overrides{
-		queries: *queries, seed: *seed, scale: *scale,
-		rates: *rates, replicas: *replicas, modes: *modes,
-		queueCap: *queueCap, slo: *slo,
-		faults: *faults, faultSeed: *faultSeed, policy: *policy,
+	opts := run.Options{
+		Config:      engine.DefaultConfig(),
+		Tool:        "facilsim",
+		Parallelism: *par,
+		Tracer:      tracer,
 	}
 	if *verbose {
 		var mu sync.Mutex
-		lab.SetProgress(func(experiment string, done, total int) {
+		opts.Progress = func(experiment string, done, total int) {
 			mu.Lock()
 			fmt.Fprintf(os.Stderr, "facilsim: %s: %d/%d\n", experiment, done, total)
 			mu.Unlock()
-		})
-	}
-
-	if *outDir != "" {
-		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "facilsim: -o: %v\n", err)
-			return 1
 		}
 	}
+	eng := run.New(opts)
 
-	results := runAll(ctx, lab, ids, ov, *par)
-
-	// Consume results in command-line order: stream (table/csv), collect
-	// for the report (json), and mirror into -o files.
-	var report exp.Report
-	var failed []string
-	for i, id := range ids {
-		<-results[i].ready
-		res := results[i].res
-		if res.Error != "" {
-			fmt.Fprintf(os.Stderr, "facilsim: %s: %s\n", id, res.Error)
-			failed = append(failed, id)
-		}
-		report.Results = append(report.Results, res)
-		if res.Error == "" {
-			if err := emitStdout(*format, res); err != nil {
-				fmt.Fprintf(os.Stderr, "facilsim: %s: %v\n", id, err)
-				failed = append(failed, id)
-				continue
+	report, err := eng.Execute(ctx, sc, run.ExecOpts{
+		OutDir: *outDir,
+		Format: *format,
+		Sink: func(res exp.Result) error {
+			if res.Error != "" {
+				fmt.Fprintf(os.Stderr, "facilsim: %s: %s\n", res.ID, res.Error)
+				return nil
 			}
-		}
-		if *outDir != "" && res.Error == "" {
-			if err := writeResultFile(*outDir, *format, res); err != nil {
-				fmt.Fprintf(os.Stderr, "facilsim: %s: %v\n", id, err)
-				failed = append(failed, id)
-			}
-		}
+			return emitStdout(*format, res)
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "facilsim: %v\n", err)
+		return 1
 	}
 
-	manifest.Failed = failed
-	manifest.WallSeconds = time.Since(manifest.Start).Seconds()
-	report.Manifest = manifest
 	if *format == "json" {
 		if err := report.WriteJSON(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "facilsim: %v\n", err)
-			return 1
-		}
-	}
-	if *outDir != "" {
-		if err := writeManifest(*outDir, manifest); err != nil {
-			fmt.Fprintf(os.Stderr, "facilsim: manifest: %v\n", err)
 			return 1
 		}
 	}
@@ -281,60 +306,12 @@ func mainErr() int {
 		fmt.Fprintf(os.Stderr, "facilsim: DRAM totals: %d stream replays, %d requests, %d cycles\n",
 			dram.Global.Streams(), dram.Global.Requests(), dram.Global.Cycles())
 	}
-	if len(failed) > 0 {
+	if failed := report.Manifest.Failed; len(failed) > 0 {
 		fmt.Fprintf(os.Stderr, "facilsim: %d of %d experiments failed: %s\n",
-			len(failed), len(ids), strings.Join(failed, " "))
+			len(failed), len(report.Manifest.Experiments), strings.Join(failed, " "))
 		return 1
 	}
 	return 0
-}
-
-// pending is one experiment's future result: res is valid once ready is
-// closed.
-type pending struct {
-	ready chan struct{}
-	res   exp.Result
-}
-
-// runAll launches every identifier on a bounded worker pool and returns
-// the per-identifier futures. A failing experiment is captured in its
-// Result rather than cancelling the sweep, so one bad experiment cannot
-// take the others down.
-func runAll(ctx context.Context, lab *exp.Lab, ids []string, ov overrides, par int) []pending {
-	results := make([]pending, len(ids))
-	for i := range results {
-		results[i].ready = make(chan struct{})
-	}
-	idxs := make([]int, len(ids))
-	for i := range idxs {
-		idxs[i] = i
-	}
-	go func() {
-		finished := make([]bool, len(ids))
-		_, _ = parallel.Sweep(ctx, idxs, func(ctx context.Context, i int) (struct{}, error) {
-			start := time.Now()
-			tabs, err := run(ctx, lab, ids[i], ov)
-			res := exp.Result{ID: ids[i], Tables: tabs, ElapsedSeconds: time.Since(start).Seconds()}
-			if err != nil {
-				res.Error = err.Error()
-				res.Tables = nil
-			}
-			results[i].res = res
-			finished[i] = true
-			close(results[i].ready)
-			return struct{}{}, nil
-		}, parallel.Workers(par))
-		// On cancellation some identifiers are never dispatched; release
-		// the printer with the context's error so it cannot block. Sweep
-		// has returned, so no worker still touches finished/results.
-		for i := range ids {
-			if !finished[i] {
-				results[i].res = exp.Result{ID: ids[i], Error: ctx.Err().Error()}
-				close(results[i].ready)
-			}
-		}
-	}()
-	return results
 }
 
 // emitStdout streams one successful result to stdout in the selected
@@ -349,224 +326,6 @@ func emitStdout(format string, res exp.Result) error {
 		fmt.Printf("[%s finished in %.1fs]\n\n", res.ID, res.ElapsedSeconds)
 	case "csv":
 		return res.WriteCSV(os.Stdout)
-	}
-	return nil
-}
-
-// writeResultFile mirrors one result into -o DIR as <id>.<ext>.
-func writeResultFile(dir, format string, res exp.Result) error {
-	ext := map[string]string{"table": "txt", "csv": "csv", "json": "json"}[format]
-	f, err := os.Create(filepath.Join(dir, res.ID+"."+ext))
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	switch format {
-	case "table":
-		err = res.WriteText(f)
-	case "csv":
-		err = res.WriteCSV(f)
-	case "json":
-		err = res.WriteJSON(f)
-	}
-	if err != nil {
-		return err
-	}
-	return f.Close()
-}
-
-// writeManifest writes the run manifest as DIR/manifest.json.
-func writeManifest(dir string, m obs.Manifest) error {
-	f, err := os.Create(filepath.Join(dir, "manifest.json"))
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := m.WriteJSON(f); err != nil {
-		return err
-	}
-	return f.Close()
-}
-
-// overrides carries the command-line tweaks for the parameterizable
-// experiments.
-type overrides struct {
-	queries     int
-	seed, scale int64
-	rates       string
-	replicas    string
-	modes       string
-	queueCap    int
-	slo         float64
-	faults      string
-	faultSeed   int64
-	policy      string
-}
-
-// run dispatches one experiment, honoring the override flags for the
-// parameterizable ones.
-func run(ctx context.Context, lab *exp.Lab, id string, ov overrides) ([]exp.Table, error) {
-	queries, seed, scale := ov.queries, ov.seed, ov.scale
-	switch id {
-	case "tab1":
-		cfg := exp.DefaultTable1Config()
-		if scale > 0 {
-			cfg.Scale = scale
-		}
-		if seed != 0 {
-			cfg.Seed = seed
-		}
-		t, err := lab.Table1(ctx, cfg)
-		if err != nil {
-			return nil, err
-		}
-		return []exp.Table{t}, nil
-	case "serving2":
-		cfg := exp.DefaultServing2Config()
-		if err := applyServing2Overrides(&cfg, ov); err != nil {
-			return nil, err
-		}
-		t, err := lab.Serving2(ctx, cfg)
-		if err != nil {
-			return nil, err
-		}
-		return []exp.Table{t}, nil
-	case "resilience":
-		cfg := exp.DefaultResilienceConfig()
-		if err := applyResilienceOverrides(&cfg, ov); err != nil {
-			return nil, err
-		}
-		t, err := lab.Resilience(ctx, cfg)
-		if err != nil {
-			return nil, err
-		}
-		return []exp.Table{t}, nil
-	case "fig15", "fig16":
-		if queries <= 0 && seed == 0 {
-			return lab.Run(ctx, id)
-		}
-		cfg := exp.DefaultDatasetConfig()
-		if queries > 0 {
-			cfg.Queries = queries
-		}
-		if seed != 0 {
-			cfg.Seed = seed
-		}
-		var out []exp.Table
-		for _, spec := range []workload.Spec{workload.AlpacaSpec(), workload.AutocompleteSpec()} {
-			var (
-				t   exp.Table
-				err error
-			)
-			if id == "fig15" {
-				t, err = lab.Fig15(ctx, spec, cfg)
-			} else {
-				t, err = lab.Fig16(ctx, spec, cfg)
-			}
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, t)
-		}
-		return out, nil
-	default:
-		return lab.Run(ctx, id)
-	}
-}
-
-// applyServing2Overrides folds the serving2 flags into the config.
-func applyServing2Overrides(cfg *exp.Serving2Config, ov overrides) error {
-	if ov.queries > 0 {
-		cfg.Queries = ov.queries
-	}
-	if ov.seed != 0 {
-		cfg.Seed = ov.seed
-	}
-	if ov.queueCap >= 0 {
-		cfg.QueueCap = ov.queueCap
-	}
-	if ov.slo >= 0 {
-		cfg.DeadlineTTLT = ov.slo
-	}
-	if ov.rates != "" {
-		cfg.Rates = cfg.Rates[:0]
-		for _, f := range strings.Split(ov.rates, ",") {
-			r, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
-			if err != nil || r <= 0 {
-				return fmt.Errorf("bad -rates entry %q", f)
-			}
-			cfg.Rates = append(cfg.Rates, r)
-		}
-	}
-	if ov.replicas != "" {
-		cfg.Replicas = cfg.Replicas[:0]
-		for _, f := range strings.Split(ov.replicas, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(f))
-			if err != nil || n <= 0 {
-				return fmt.Errorf("bad -replicas entry %q", f)
-			}
-			cfg.Replicas = append(cfg.Replicas, n)
-		}
-	}
-	if ov.modes != "" {
-		cfg.Modes = cfg.Modes[:0]
-		for _, f := range strings.Split(ov.modes, ",") {
-			m, err := serve.ParseMode(strings.TrimSpace(f))
-			if err != nil {
-				return err
-			}
-			cfg.Modes = append(cfg.Modes, m)
-		}
-	}
-	return nil
-}
-
-// applyResilienceOverrides folds the fault-sweep flags into the config.
-func applyResilienceOverrides(cfg *exp.ResilienceConfig, ov overrides) error {
-	if ov.queries > 0 {
-		cfg.Queries = ov.queries
-	}
-	if ov.seed != 0 {
-		cfg.Seed = ov.seed
-	}
-	if ov.faultSeed != 0 {
-		cfg.FaultSeed = ov.faultSeed
-	}
-	if ov.queueCap >= 0 {
-		cfg.QueueCap = ov.queueCap
-	}
-	if ov.slo >= 0 {
-		cfg.DeadlineTTLT = ov.slo
-	}
-	if ov.faults != "" {
-		cfg.LaneMTBFs = cfg.LaneMTBFs[:0]
-		for _, f := range strings.Split(ov.faults, ",") {
-			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
-			if err != nil || v <= 0 {
-				return fmt.Errorf("bad -faults entry %q (want a positive MTBF in seconds)", f)
-			}
-			cfg.LaneMTBFs = append(cfg.LaneMTBFs, v)
-		}
-	}
-	if ov.policy != "" {
-		cfg.Policies = cfg.Policies[:0]
-		for _, f := range strings.Split(ov.policy, ",") {
-			p, err := serve.ParsePolicy(strings.TrimSpace(f))
-			if err != nil {
-				return err
-			}
-			cfg.Policies = append(cfg.Policies, p)
-		}
-	}
-	if ov.modes != "" {
-		cfg.Modes = cfg.Modes[:0]
-		for _, f := range strings.Split(ov.modes, ",") {
-			m, err := serve.ParseMode(strings.TrimSpace(f))
-			if err != nil {
-				return err
-			}
-			cfg.Modes = append(cfg.Modes, m)
-		}
 	}
 	return nil
 }

@@ -1,0 +1,223 @@
+package daemon
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"facil/internal/dram"
+	"facil/internal/exp"
+	"facil/internal/obs"
+	"facil/internal/run"
+	"facil/internal/serve"
+)
+
+// Metrics is the GET /metrics document: a point-in-time snapshot of
+// the process-global observability counters (serve-layer live stats,
+// DRAM totals, trace-ring occupancy) plus the server's run accounting.
+// Every counter is read from atomics, so polling it during a run is
+// wait-free with respect to the simulator's hot path.
+type Metrics struct {
+	// UptimeSeconds is the server's age.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Draining reports whether a drain is in progress (admission closed).
+	Draining bool `json:"draining"`
+	// Runs counts runs by lifecycle state.
+	Runs RunCounts `json:"runs"`
+	// Serve is the serving simulator's live counter snapshot.
+	Serve serve.LiveSnapshot `json:"serve"`
+	// DRAM aggregates every DRAM stream replay in the process.
+	DRAM DRAMTotals `json:"dram"`
+	// Trace reports the trace ring's occupancy.
+	Trace TraceStats `json:"trace"`
+}
+
+// RunCounts buckets the server's runs by state.
+type RunCounts struct {
+	// Queued counts runs waiting for the runner.
+	Queued int `json:"queued"`
+	// Running is 1 while a run is in flight.
+	Running int `json:"running"`
+	// Done counts fully successful runs.
+	Done int `json:"done"`
+	// Failed counts runs with at least one failed experiment.
+	Failed int `json:"failed"`
+	// Canceled counts queued runs displaced by a reload or drain.
+	Canceled int `json:"canceled"`
+}
+
+// DRAMTotals mirrors dram.Global for the metrics document.
+type DRAMTotals struct {
+	// Streams counts finished stream replays.
+	Streams int64 `json:"streams"`
+	// Requests counts simulated read+write requests.
+	Requests int64 `json:"requests"`
+	// Cycles counts simulated burst-clock cycles.
+	Cycles int64 `json:"cycles"`
+}
+
+// TraceStats reports the trace ring's occupancy.
+type TraceStats struct {
+	// Events is the ring's current event count.
+	Events int `json:"events"`
+	// Dropped counts events evicted on ring overflow.
+	Dropped uint64 `json:"dropped"`
+}
+
+// Metrics snapshots the live counters.
+func (s *Server) Metrics() Metrics {
+	s.mu.Lock()
+	m := Metrics{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Draining:      s.draining,
+	}
+	for _, r := range s.runs {
+		switch r.State {
+		case StateQueued:
+			m.Runs.Queued++
+		case StateRunning:
+			m.Runs.Running++
+		case StateDone:
+			m.Runs.Done++
+		case StateFailed:
+			m.Runs.Failed++
+		case StateCanceled:
+			m.Runs.Canceled++
+		}
+	}
+	s.mu.Unlock()
+	m.Serve = serve.Live.Snapshot()
+	m.DRAM = DRAMTotals{
+		Streams:  dram.Global.Streams(),
+		Requests: dram.Global.Requests(),
+		Cycles:   dram.Global.Cycles(),
+	}
+	m.Trace = TraceStats{Events: s.tracer.Len(), Dropped: s.tracer.Dropped()}
+	return m
+}
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /runs              submit a scenario (run.Scenario JSON), 202 + run
+//	GET  /runs              list runs in submission order
+//	GET  /runs/{id}         one run's lifecycle record
+//	GET  /runs/{id}/report  a finished run's exp.Report JSON
+//	POST /reload            cancel queued runs, enqueue the new scenario
+//	GET  /metrics           live counter snapshot (Metrics JSON)
+//	GET  /trace             Chrome trace-event timeline from the ring
+//	GET  /experiments       the experiment catalog (exp.Catalog JSON)
+//	GET  /version           the binary's build identity
+//	GET  /pimalloc          a pimalloc walkthrough on the public Arena API
+//	GET  /healthz           liveness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /runs", s.handleSubmit)
+	mux.HandleFunc("GET /runs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Runs())
+	})
+	mux.HandleFunc("GET /runs/{id}", s.handleRun)
+	mux.HandleFunc("GET /runs/{id}/report", s.handleReport)
+	mux.HandleFunc("POST /reload", s.handleReload)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Metrics())
+	})
+	mux.HandleFunc("GET /trace", s.handleTrace)
+	mux.HandleFunc("GET /experiments", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, exp.Catalog())
+	})
+	mux.HandleFunc("GET /version", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, obs.CurrentBuild())
+	})
+	mux.HandleFunc("GET /pimalloc", s.handlePimalloc)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	return mux
+}
+
+// handleSubmit enqueues the POSTed scenario.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	sc, err := run.Decode(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	rec, err := s.Submit(sc)
+	if err != nil {
+		httpError(w, submitStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, rec)
+}
+
+// handleReload swaps the pending queue for the POSTed scenario.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	sc, err := run.Decode(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	rec, err := s.Reload(sc)
+	if err != nil {
+		httpError(w, submitStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, rec)
+}
+
+// submitStatus maps a Submit/Reload error to its HTTP status.
+func submitStatus(err error) int {
+	if errors.Is(err, ErrDraining) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+// handleRun serves one run's lifecycle record.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, errors.New("daemon: no such run"))
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+// handleReport serves a finished run's report.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	rep, ok, ready := s.Report(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, errors.New("daemon: no such run"))
+		return
+	}
+	if !ready {
+		httpError(w, http.StatusConflict, errors.New("daemon: run not finished"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := rep.WriteJSON(w); err != nil {
+		// Headers are gone; nothing more to do than drop the connection.
+		return
+	}
+}
+
+// handleTrace streams the trace ring as a Chrome trace-event document.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.tracer.WriteJSON(w)
+}
+
+// writeJSON writes an indented JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// httpError writes a JSON error document.
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

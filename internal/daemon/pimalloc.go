@@ -1,0 +1,142 @@
+package daemon
+
+import (
+	"errors"
+	"net/http"
+	"strconv"
+
+	"facil"
+)
+
+// PimallocReport is the GET /pimalloc document: one allocation
+// walkthrough on the public facil.Arena API — the paper's Fig. 7 flow
+// of pimalloc'ing a weight matrix and resolving its elements through
+// the per-page mapping — rendered as data. It exercises exactly the
+// code path the examples/quickstart walkthrough prints, so the daemon
+// doubles as a live demo endpoint for the address-mapping layer.
+type PimallocReport struct {
+	// Platform is the memory system the arena was built on.
+	Platform string `json:"platform"`
+	// Rows, Cols and DTypeBytes echo the allocated matrix shape.
+	Rows int `json:"rows"`
+	// Cols is the matrix column count.
+	Cols int `json:"cols"`
+	// DTypeBytes is the element size.
+	DTypeBytes int `json:"dtype_bytes"`
+	// VA is the tensor's virtual base address.
+	VA uint64 `json:"va"`
+	// Bytes is the padded allocation size.
+	Bytes int64 `json:"bytes"`
+	// HugePages is the number of 2 MB pages backing the tensor.
+	HugePages int `json:"huge_pages"`
+	// MapID is the PA-to-DA mapping recorded in the PTEs, and
+	// MappingLayout its page-offset bit assignment (MSB->LSB).
+	MapID int `json:"map_id"`
+	// MappingLayout renders the mapping's bit layout.
+	MappingLayout string `json:"mapping_layout"`
+	// Partitioned reports column-wise partitioning across PUs.
+	Partitioned bool `json:"partitioned"`
+	// SupportedMappings is the frontend mux fan-in.
+	SupportedMappings int `json:"supported_mappings"`
+	// Corners resolves the matrix's four corner elements: their DRAM
+	// locations under the PIM mapping and under the conventional one.
+	Corners []ElementResolution `json:"corners"`
+	// TLBHitRate is the arena TLB's hit rate over the walkthrough.
+	TLBHitRate float64 `json:"tlb_hit_rate"`
+}
+
+// ElementResolution contrasts one element's PIM-mapped DRAM location
+// with where the conventional mapping would put it.
+type ElementResolution struct {
+	// Row and Col locate the element in the matrix.
+	Row int `json:"row"`
+	// Col is the element's column.
+	Col int `json:"col"`
+	// PIM is the location under the tensor's recorded mapping.
+	PIM string `json:"pim"`
+	// Conventional is the location under the SoC's default mapping.
+	Conventional string `json:"conventional"`
+}
+
+// handlePimalloc runs one pimalloc walkthrough. Query parameters:
+// platform (default jetson-agx-orin, see facil.Platforms), rows, cols
+// (default 4096 each) and dtype (element bytes, default 2).
+func (s *Server) handlePimalloc(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	platform := q.Get("platform")
+	if platform == "" {
+		platform = facil.Platforms()[0]
+	}
+	rows, err1 := intParam(q.Get("rows"), 4096)
+	cols, err2 := intParam(q.Get("cols"), 4096)
+	dtype, err3 := intParam(q.Get("dtype"), 2)
+	if err := errors.Join(err1, err2, err3); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	rep, err := pimallocWalkthrough(platform, rows, cols, dtype)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// intParam parses a positive integer query parameter with a default.
+func intParam(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n <= 0 {
+		return 0, errors.New("daemon: want a positive integer, got " + strconv.Quote(s))
+	}
+	return n, nil
+}
+
+// pimallocWalkthrough allocates, resolves the corners, and frees.
+func pimallocWalkthrough(platform string, rows, cols, dtype int) (PimallocReport, error) {
+	arena, err := facil.NewArena(platform)
+	if err != nil {
+		return PimallocReport{}, err
+	}
+	tensor, err := arena.Pimalloc(rows, cols, dtype)
+	if err != nil {
+		return PimallocReport{}, err
+	}
+	rep := PimallocReport{
+		Platform:          platform,
+		Rows:              rows,
+		Cols:              cols,
+		DTypeBytes:        dtype,
+		VA:                tensor.VA,
+		Bytes:             tensor.Bytes,
+		HugePages:         tensor.HugePages,
+		MapID:             tensor.MapID,
+		MappingLayout:     tensor.MappingLayout,
+		Partitioned:       tensor.Partitioned,
+		SupportedMappings: arena.SupportedMappings(),
+	}
+	for _, rc := range [][2]int{{0, 0}, {0, cols - 1}, {rows - 1, 0}, {rows - 1, cols - 1}} {
+		pim, err := arena.ElementLocation(tensor, rc[0], rc[1])
+		if err != nil {
+			return PimallocReport{}, err
+		}
+		va, err := arena.ElementVA(tensor, rc[0], rc[1])
+		if err != nil {
+			return PimallocReport{}, err
+		}
+		conv, err := arena.ConventionalLocation(va)
+		if err != nil {
+			return PimallocReport{}, err
+		}
+		rep.Corners = append(rep.Corners, ElementResolution{
+			Row: rc[0], Col: rc[1], PIM: pim.String(), Conventional: conv.String(),
+		})
+	}
+	rep.TLBHitRate = arena.TLBHitRate()
+	if err := arena.Free(tensor); err != nil {
+		return PimallocReport{}, err
+	}
+	return rep, nil
+}

@@ -162,3 +162,55 @@ var AllIDs = []string{
 	"maxmap", "ablations",
 	"cosched", "quant", "pimstyle", "energy", "serving", "serving2", "resilience",
 }
+
+// Info describes one registered experiment for listings: the identifier
+// plus a one-line title. `facilsim -list` and the daemon's
+// GET /experiments endpoint both render from Catalog, so the two
+// listings cannot drift from the registry (or from each other).
+type Info struct {
+	// ID is the registry identifier ("fig13", "serving2", ...).
+	ID string `json:"id"`
+	// Title is the one-line human description.
+	Title string `json:"title"`
+}
+
+// titles carries the one-line description of every registered
+// experiment; TestCatalogCoversRegistry pins the 1:1 correspondence.
+var titles = map[string]string{
+	"fig2a":      "decode time breakdown (motivation)",
+	"fig2b":      "GEMV utilization across PIM configs (motivation)",
+	"fig3":       "PIM speedup potential over SoC decode (motivation)",
+	"fig6":       "TTFT increase from weight re-layout (motivation)",
+	"tab1":       "huge-page load time under memory fragmentation",
+	"tab2":       "evaluated platforms and their PIM configurations",
+	"tab3":       "GEMM slowdown on the PIM-optimized layout",
+	"fig13":      "single-query TTFT speedup vs baselines",
+	"fig14":      "single-query TTLT speedup per platform",
+	"fig15":      "dataset TTFT distributions (Alpaca, autocomplete)",
+	"fig16":      "dataset TTLT distributions (Alpaca, autocomplete)",
+	"maxmap":     "largest MapID the mapping family needs",
+	"ablations":  "eight design-choice ablation studies",
+	"cosched":    "SoC/PIM co-scheduled memory-controller interleaving",
+	"quant":      "weight-quantization sensitivity",
+	"pimstyle":   "PIM microarchitecture style comparison",
+	"energy":     "per-token energy model",
+	"serving":    "closed-form serving queue (legacy extension)",
+	"serving2":   "event-driven cooperative serving sweep",
+	"resilience": "fault-injection and degradation-policy sweep",
+}
+
+// Catalog returns every registered experiment in DESIGN.md order with
+// its one-line title — the single source for CLI and daemon listings.
+func Catalog() []Info {
+	out := make([]Info, 0, len(AllIDs))
+	for _, id := range AllIDs {
+		out = append(out, Info{ID: id, Title: titles[id]})
+	}
+	return out
+}
+
+// Known reports whether id names a registered experiment.
+func Known(id string) bool {
+	_, ok := registry[id]
+	return ok
+}

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Build identifies one compiled binary: the module version plus the VCS
+// facts the Go toolchain bakes into build info. Both front ends expose
+// it (facilsim -version, facild GET /version) and manifests embed it,
+// so any exported result names the exact build that produced it.
+type Build struct {
+	// Version is the module version ("(devel)" for source builds,
+	// "unknown" when build info is unavailable, e.g. plain go test).
+	Version string `json:"version"`
+	// GitRev is the VCS revision ("unknown" for non-VCS builds).
+	GitRev string `json:"git_rev"`
+	// GitDirty marks a build from a modified working tree.
+	GitDirty bool `json:"git_dirty,omitempty"`
+	// GoVersion is the toolchain that compiled the binary.
+	GoVersion string `json:"go_version"`
+	// OS and Arch locate the binary's target platform.
+	OS string `json:"os"`
+	// Arch is the target architecture (GOARCH).
+	Arch string `json:"arch"`
+}
+
+// CurrentBuild reads the running binary's build identity from
+// runtime/debug.ReadBuildInfo.
+func CurrentBuild() Build {
+	b := Build{
+		Version:   "unknown",
+		GitRev:    "unknown",
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+	}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	if bi.Main.Version != "" {
+		b.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.GitRev = s.Value
+		case "vcs.modified":
+			b.GitDirty = s.Value == "true"
+		}
+	}
+	return b
+}
+
+// String renders the build as a one-line banner, e.g.
+// "facil (devel) rev 8c92959 (dirty) go1.22.0 linux/amd64".
+func (b Build) String() string {
+	rev := b.GitRev
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	dirty := ""
+	if b.GitDirty {
+		dirty = " (dirty)"
+	}
+	return fmt.Sprintf("facil %s rev %s%s %s %s/%s", b.Version, rev, dirty, b.GoVersion, b.OS, b.Arch)
+}

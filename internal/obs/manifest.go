@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"io"
 	"runtime"
-	"runtime/debug"
 	"time"
 )
 
@@ -19,6 +18,9 @@ type Manifest struct {
 	// SchemaVersion versions the export schema documented in
 	// EXPERIMENTS.md; consumers should reject unknown major versions.
 	SchemaVersion int `json:"schema_version"`
+	// Version is the module version from build info ("(devel)" for
+	// source builds, "unknown" when build info is unavailable).
+	Version string `json:"version,omitempty"`
 	// GitRev is the VCS revision baked into the binary by the Go
 	// toolchain ("unknown" for non-VCS builds such as go run in tests).
 	GitRev string `json:"git_rev"`
@@ -55,33 +57,25 @@ type Manifest struct {
 // (see EXPERIMENTS.md "Machine-readable output").
 const SchemaVersion = 1
 
-// NewManifest fills a manifest with build/runtime facts: the VCS
-// revision and dirty bit from the binary's build info, Go version, OS,
-// architecture, CPU counts and the start timestamp.
+// NewManifest fills a manifest with build/runtime facts: the module
+// version, VCS revision and dirty bit from the binary's build info, Go
+// version, OS, architecture, CPU counts and the start timestamp.
 func NewManifest(tool string, args []string) Manifest {
-	m := Manifest{
+	b := CurrentBuild()
+	return Manifest{
 		Tool:          tool,
 		SchemaVersion: SchemaVersion,
-		GitRev:        "unknown",
-		GoVersion:     runtime.Version(),
-		OS:            runtime.GOOS,
-		Arch:          runtime.GOARCH,
+		Version:       b.Version,
+		GitRev:        b.GitRev,
+		GitDirty:      b.GitDirty,
+		GoVersion:     b.GoVersion,
+		OS:            b.OS,
+		Arch:          b.Arch,
 		NumCPU:        runtime.NumCPU(),
 		Maxprocs:      runtime.GOMAXPROCS(0),
 		Args:          args,
 		Start:         time.Now(),
 	}
-	if bi, ok := debug.ReadBuildInfo(); ok {
-		for _, s := range bi.Settings {
-			switch s.Key {
-			case "vcs.revision":
-				m.GitRev = s.Value
-			case "vcs.modified":
-				m.GitDirty = s.Value == "true"
-			}
-		}
-	}
-	return m
 }
 
 // WriteJSON serializes the manifest with indentation.

@@ -1,0 +1,285 @@
+// Package run is the run-engine layer between the front ends (the
+// facilsim CLI, the facild daemon) and the experiment stack: it owns
+// the scenario schema, experiment dispatch with per-identifier
+// overrides, Lab construction with tracer and progress wiring, manifest
+// assembly and result export. cmd/facilsim and internal/daemon are thin
+// shells over this package — a scenario runs identically (byte-for-byte
+// in its Report tables) whichever front end submits it.
+package run
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"facil/internal/exp"
+	"facil/internal/serve"
+)
+
+// Scenario is one engine invocation: the experiment identifiers to run
+// plus the parameter overrides the CLI exposes as flags. The JSON form
+// is the daemon's POST /runs body and the record/replay file format;
+// field names mirror the facilsim flag names, so a recorded scenario
+// reads like the command line that produced it.
+//
+// QueueCap and SLO use -1 (the CLI flag default) for "keep the
+// experiment's own default", because 0 is meaningful for both (0 =
+// unbounded queue / no SLO). Decode layers JSON over DefaultScenario so
+// omitted fields keep that semantics.
+type Scenario struct {
+	// Experiments lists the identifiers to run, in order (empty = every
+	// experiment in DESIGN.md order). Merged from positional arguments
+	// and -id on the CLI.
+	Experiments []string `json:"experiments,omitempty"`
+	// Queries overrides the per-dataset query count of the dataset and
+	// serving experiments (0 = experiment default).
+	Queries int `json:"queries,omitempty"`
+	// Seed overrides the sampling seed (0 = experiment default).
+	Seed int64 `json:"seed,omitempty"`
+	// Scale is tab1's memory down-scale factor (0 = default 8,
+	// 1 = paper-size).
+	Scale int64 `json:"scale,omitempty"`
+	// Rates is serving2's comma-separated arrival-rate sweep in q/s
+	// ("" = default).
+	Rates string `json:"rates,omitempty"`
+	// Replicas is serving2's comma-separated replica-count sweep
+	// ("" = default).
+	Replicas string `json:"replicas,omitempty"`
+	// Modes is the comma-separated lane-scheduler sweep for serving2 and
+	// resilience ("" = default).
+	Modes string `json:"modes,omitempty"`
+	// QueueCap bounds the admission queue of serving2/resilience
+	// (0 = unbounded, -1 = experiment default). Not omitempty: 0 is
+	// meaningful, so the recorded form always spells it out.
+	QueueCap int `json:"queuecap"`
+	// SLO is the TTLT goodput deadline in seconds (0 = none,
+	// -1 = experiment default). Not omitempty, as for QueueCap.
+	SLO float64 `json:"slo"`
+	// Faults is resilience's comma-separated lane-MTBF sweep in seconds
+	// ("" = default).
+	Faults string `json:"faults,omitempty"`
+	// FaultSeed is resilience's fault-scenario seed (0 = default).
+	FaultSeed int64 `json:"faultseed,omitempty"`
+	// Policy is resilience's comma-separated degradation-policy sweep
+	// ("" = default).
+	Policy string `json:"policy,omitempty"`
+}
+
+// DefaultScenario returns the scenario matching facilsim's flag
+// defaults: every experiment, every override at its "experiment
+// default" sentinel.
+func DefaultScenario() Scenario {
+	return Scenario{QueueCap: -1, SLO: -1}
+}
+
+// Decode parses one scenario JSON document layered over the defaults,
+// so omitted fields keep their CLI-default semantics. Unknown fields
+// are rejected — a typo'd override should fail the submission, not
+// silently run the default.
+func Decode(r io.Reader) (Scenario, error) {
+	sc := DefaultScenario()
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sc); err != nil {
+		return Scenario{}, fmt.Errorf("run: bad scenario: %w", err)
+	}
+	return sc, nil
+}
+
+// Load replays a scenario file recorded by Save (or written by hand).
+func Load(path string) (Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Scenario{}, err
+	}
+	defer f.Close()
+	sc, err := Decode(f)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return sc, nil
+}
+
+// Save records the scenario as an indented JSON file a later -scenario
+// flag or daemon POST can replay.
+func (sc Scenario) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// IDs returns the experiment identifiers the scenario runs: its
+// explicit list, or every experiment in DESIGN.md order when empty.
+func (sc Scenario) IDs() []string {
+	if len(sc.Experiments) > 0 {
+		return sc.Experiments
+	}
+	return exp.AllIDs
+}
+
+// Args renders the scenario back to its canonical facilsim flag form.
+// Manifests stamp it as the run's command line, so a daemon-produced
+// report names the CLI invocation that reproduces it.
+func (sc Scenario) Args() []string {
+	var args []string
+	str := func(flag, v string) {
+		if v != "" {
+			args = append(args, "-"+flag, v)
+		}
+	}
+	num := func(flag string, v int64) {
+		if v != 0 {
+			args = append(args, "-"+flag, strconv.FormatInt(v, 10))
+		}
+	}
+	if len(sc.Experiments) > 0 {
+		str("id", strings.Join(sc.Experiments, ","))
+	}
+	num("queries", int64(sc.Queries))
+	num("seed", sc.Seed)
+	num("scale", sc.Scale)
+	str("rates", sc.Rates)
+	str("replicas", sc.Replicas)
+	str("modes", sc.Modes)
+	if sc.QueueCap >= 0 {
+		args = append(args, "-queuecap", strconv.Itoa(sc.QueueCap))
+	}
+	if sc.SLO >= 0 {
+		args = append(args, "-slo", strconv.FormatFloat(sc.SLO, 'g', -1, 64))
+	}
+	str("faults", sc.Faults)
+	num("faultseed", sc.FaultSeed)
+	str("policy", sc.Policy)
+	return args
+}
+
+// Validate resolves every experiment identifier and parses every sweep
+// list, returning the first problem. The daemon rejects a bad scenario
+// at submission with this; the CLI instead lets unknown identifiers
+// surface as per-experiment failures so one typo cannot take down a
+// batch of valid experiments.
+func (sc Scenario) Validate() error {
+	for _, id := range sc.Experiments {
+		if !exp.Known(id) {
+			return fmt.Errorf("run: unknown experiment %q (see -list or GET /experiments)", id)
+		}
+	}
+	s2 := exp.DefaultServing2Config()
+	if err := sc.applyServing2(&s2); err != nil {
+		return err
+	}
+	rc := exp.DefaultResilienceConfig()
+	if err := sc.applyResilience(&rc); err != nil {
+		return err
+	}
+	return nil
+}
+
+// applyServing2 folds the scenario's overrides into a serving2 config.
+func (sc Scenario) applyServing2(cfg *exp.Serving2Config) error {
+	if sc.Queries > 0 {
+		cfg.Queries = sc.Queries
+	}
+	if sc.Seed != 0 {
+		cfg.Seed = sc.Seed
+	}
+	if sc.QueueCap >= 0 {
+		cfg.QueueCap = sc.QueueCap
+	}
+	if sc.SLO >= 0 {
+		cfg.DeadlineTTLT = sc.SLO
+	}
+	if sc.Rates != "" {
+		cfg.Rates = cfg.Rates[:0]
+		for _, f := range strings.Split(sc.Rates, ",") {
+			r, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil || r <= 0 {
+				return fmt.Errorf("run: bad rates entry %q", f)
+			}
+			cfg.Rates = append(cfg.Rates, r)
+		}
+	}
+	if sc.Replicas != "" {
+		cfg.Replicas = cfg.Replicas[:0]
+		for _, f := range strings.Split(sc.Replicas, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n <= 0 {
+				return fmt.Errorf("run: bad replicas entry %q", f)
+			}
+			cfg.Replicas = append(cfg.Replicas, n)
+		}
+	}
+	if sc.Modes != "" {
+		cfg.Modes = cfg.Modes[:0]
+		for _, f := range strings.Split(sc.Modes, ",") {
+			m, err := serve.ParseMode(strings.TrimSpace(f))
+			if err != nil {
+				return err
+			}
+			cfg.Modes = append(cfg.Modes, m)
+		}
+	}
+	return nil
+}
+
+// applyResilience folds the scenario's overrides into a resilience
+// config.
+func (sc Scenario) applyResilience(cfg *exp.ResilienceConfig) error {
+	if sc.Queries > 0 {
+		cfg.Queries = sc.Queries
+	}
+	if sc.Seed != 0 {
+		cfg.Seed = sc.Seed
+	}
+	if sc.FaultSeed != 0 {
+		cfg.FaultSeed = sc.FaultSeed
+	}
+	if sc.QueueCap >= 0 {
+		cfg.QueueCap = sc.QueueCap
+	}
+	if sc.SLO >= 0 {
+		cfg.DeadlineTTLT = sc.SLO
+	}
+	if sc.Faults != "" {
+		cfg.LaneMTBFs = cfg.LaneMTBFs[:0]
+		for _, f := range strings.Split(sc.Faults, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil || v <= 0 {
+				return fmt.Errorf("run: bad faults entry %q (want a positive MTBF in seconds)", f)
+			}
+			cfg.LaneMTBFs = append(cfg.LaneMTBFs, v)
+		}
+	}
+	if sc.Policy != "" {
+		cfg.Policies = cfg.Policies[:0]
+		for _, f := range strings.Split(sc.Policy, ",") {
+			p, err := serve.ParsePolicy(strings.TrimSpace(f))
+			if err != nil {
+				return err
+			}
+			cfg.Policies = append(cfg.Policies, p)
+		}
+	}
+	if sc.Modes != "" {
+		cfg.Modes = cfg.Modes[:0]
+		for _, f := range strings.Split(sc.Modes, ",") {
+			m, err := serve.ParseMode(strings.TrimSpace(f))
+			if err != nil {
+				return err
+			}
+			cfg.Modes = append(cfg.Modes, m)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,31 @@
+package serve
+
+// eventArena is the serving simulator's event allocator: a free list of
+// event values recycled as the loop retires them (the ROADMAP "arena"
+// treatment applied to the serve event allocation path, mirroring the
+// DRAM scheduler's slot pool). The simulator allocates each event box at
+// most once; steady state — retries, prefill/quantum chains, fault
+// streams — reuses retired boxes instead of garbage-collecting them.
+// One arena belongs to one sim, so no locking is needed.
+type eventArena struct {
+	free []*event
+}
+
+// get returns an event box, reusing a retired one when available. The
+// caller overwrites every field (push copies a whole event value in),
+// so get does not zero.
+func (a *eventArena) get() *event {
+	if n := len(a.free); n > 0 {
+		e := a.free[n-1]
+		a.free = a.free[:n-1]
+		return e
+	}
+	return new(event)
+}
+
+// put retires a processed event for the next get. The box is cleared so
+// a stale query pointer cannot keep a retired query reachable.
+func (a *eventArena) put(e *event) {
+	*e = event{}
+	a.free = append(a.free, e)
+}

@@ -86,7 +86,7 @@ func (sm *sim) initFaults(s *engine.System) error {
 	for ri := range fs.lanes {
 		fs.lanes[ri] = fs.sc.Lanes(ri)
 		if w, ok := fs.lanes[ri].Next(); ok {
-			sm.push(&event{at: w.Start, kind: evLaneDown, rep: ri, until: w.End})
+			sm.push(event{at: w.Start, kind: evLaneDown, rep: ri, until: w.End})
 		}
 	}
 	sm.flt = fs
@@ -144,6 +144,7 @@ func (sm *sim) onCorruptHandoff(q *query) bool {
 // or rejection).
 func (sm *sim) failQuery(q *query, why string) {
 	sm.m.Failed++
+	Live.failed.Add(1)
 	sm.inSystem--
 	sm.open--
 	sm.traceInstant(why, q)
@@ -163,9 +164,9 @@ func (sm *sim) onLaneDown(ri int, until float64) error {
 	if until > r.downUntil {
 		r.downUntil = until
 	}
-	sm.push(&event{at: until, kind: evLaneUp, rep: ri})
+	sm.push(event{at: until, kind: evLaneUp, rep: ri})
 	if w, ok := sm.flt.lanes[ri].Next(); ok {
-		sm.push(&event{at: w.Start, kind: evLaneDown, rep: ri, until: w.End})
+		sm.push(event{at: w.Start, kind: evLaneDown, rep: ri, until: w.End})
 	}
 	// Queries already queued on the dead lane reroute now; an in-flight
 	// quantum still completes (fail-stop at scheduling boundaries).
@@ -255,6 +256,7 @@ func (sm *sim) degrade(q *query, ri int) error {
 	case PolicyFailover:
 		if rj := sm.liveReplica(ri); rj >= 0 {
 			sm.m.FailedOver++
+			Live.failedOver.Add(1)
 			q.penalty += sm.failoverPen
 			sm.traceInstant("failover", q)
 			sm.reps[rj].decodeQ = append(sm.reps[rj].decodeQ, q)
@@ -265,6 +267,7 @@ func (sm *sim) degrade(q *query, ri int) error {
 		if !q.degraded {
 			q.degraded = true
 			sm.m.Degraded++
+			Live.degraded.Add(1)
 			sm.traceInstant("degrade", q)
 		}
 		sm.reps[ri].socQ = append(sm.reps[ri].socQ, q)
@@ -306,7 +309,7 @@ func (sm *sim) dispatchSoCDecode(ri int) error {
 		if penalty > 0 {
 			sm.traceSpan(ri, traceLaneSoC, "fault-recovery", q, sm.now, penalty)
 		}
-		sm.push(&event{
+		sm.push(event{
 			at: sm.now + penalty + dur, kind: evQuantumDone, q: q, rep: ri,
 			steps: steps, dur: dur, factor: factor, soc: true,
 		})

@@ -300,6 +300,7 @@ type sim struct {
 	cfg   SimConfig
 	sys   *engine.System
 	evs   eventHeap
+	arena eventArena
 	seq   int64
 	reps  []replica
 	wait  []*query // admission FIFO feeding SoC lanes
@@ -395,15 +396,52 @@ func (sm *sim) traceDepth() {
 // summarizes latencies, throughput and lane utilization. The run is
 // single-threaded and fully deterministic in cfg.Seed.
 func Run(s *engine.System, cfg SimConfig) (Metrics, error) {
-	if err := cfg.Validate(); err != nil {
+	sim, err := NewSim(s, cfg)
+	if err != nil {
 		return Metrics{}, err
+	}
+	for {
+		more, err := sim.Step()
+		if err != nil {
+			return Metrics{}, err
+		}
+		if !more {
+			break
+		}
+	}
+	return sim.Finish(), nil
+}
+
+// Sim is a pausable, steppable serving simulation: Run's event loop
+// exposed one event at a time, so a long-running host (the facild
+// daemon) can advance virtual time on a background goroutine while
+// observers read lock-free Live counter snapshots between events.
+// Create with NewSim, call Step until it reports no more events, then
+// reduce with Finish. Driving the loop to exhaustion and calling Finish
+// is byte-identical to Run with the same config: stepping changes who
+// turns the crank, not what happens.
+//
+// A Sim is single-threaded: Step and Finish must not be called
+// concurrently (snapshots of the global Live counters are the
+// concurrent-read path).
+type Sim struct {
+	sm       *sim
+	finished bool
+}
+
+// NewSim validates cfg and builds a ready-to-step simulation with the
+// arrival stream (and the fault scenario, when armed) already
+// scheduled, exactly as Run does before entering its loop.
+func NewSim(s *engine.System, cfg SimConfig) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	if cfg.PreemptSteps == 0 {
 		cfg.PreemptSteps = DefaultPreemptSteps
 	}
 	ds, err := workload.Generate(cfg.Workload, cfg.Queries, cfg.Seed+1)
 	if err != nil {
-		return Metrics{}, err
+		return nil, err
 	}
 	sm := &sim{
 		cfg:  cfg,
@@ -419,7 +457,7 @@ func Run(s *engine.System, cfg SimConfig) (Metrics, error) {
 	}
 	if cfg.Mode == RelayoutHybrid {
 		if sm.relay, err = s.RelayoutAllWeightsSeconds(); err != nil {
-			return Metrics{}, err
+			return nil, err
 		}
 	}
 	// The arrival process is owned by this run: a fresh RNG consumes
@@ -429,7 +467,7 @@ func Run(s *engine.System, cfg SimConfig) (Metrics, error) {
 	var clock float64
 	for i, q := range ds.Queries {
 		clock += rng.ExpFloat64() / cfg.ArrivalRate
-		sm.push(&event{at: clock, kind: evArrival, q: &query{
+		sm.push(event{at: clock, kind: evArrival, q: &query{
 			id: i, arrival: clock, prefill: q.Prefill, decode: q.Decode,
 		}})
 	}
@@ -449,17 +487,44 @@ func Run(s *engine.System, cfg SimConfig) (Metrics, error) {
 	}
 	if !cfg.Faults.Empty() {
 		if err := sm.initFaults(s); err != nil {
-			return Metrics{}, err
+			return nil, err
 		}
 	}
-	if err := sm.loop(); err != nil {
-		return Metrics{}, err
-	}
-	return sm.finish(), nil
+	Live.runsStarted.Add(1)
+	return &Sim{sm: sm}, nil
 }
 
-// push adds an event with the next tie-break sequence number.
-func (sm *sim) push(e *event) {
+// Step processes the next pending event and reports whether any events
+// remain afterwards. On an error the simulation is poisoned: discard
+// the Sim (partial metrics are meaningless).
+func (s *Sim) Step() (bool, error) {
+	return s.sm.step()
+}
+
+// Now returns the simulation's virtual clock in seconds.
+func (s *Sim) Now() float64 { return s.sm.now }
+
+// Pending returns the number of scheduled events not yet processed
+// (including tail fault events that Step will discard).
+func (s *Sim) Pending() int { return s.sm.evs.Len() }
+
+// Finish reduces the run into its Metrics. Call it once, after Step
+// reports that no events remain; calling earlier summarizes a truncated
+// run. Finish is idempotent in the Live counters (only the first call
+// counts the run as finished).
+func (s *Sim) Finish() Metrics {
+	if !s.finished {
+		s.finished = true
+		Live.runsFinished.Add(1)
+	}
+	return s.sm.finish()
+}
+
+// push schedules an event value with the next tie-break sequence
+// number, boxing it through the recycling arena.
+func (sm *sim) push(ev event) {
+	e := sm.arena.get()
+	*e = ev
 	e.seq = sm.seq
 	sm.seq++
 	heap.Push(&sm.evs, e)
@@ -473,45 +538,43 @@ func (sm *sim) advance(t float64) {
 		sm.m.SoCBusy.Add(float64(sm.busySoC), dt)
 		sm.m.PIMBusy.Add(float64(sm.busyPIM), dt)
 		sm.lastT = t
+		Live.addVirtual(dt)
 	}
 	sm.now = t
 }
 
-// loop drains the event heap. Once every query is terminal, remaining
-// fault events are discarded without advancing the clock: the makespan
-// (and the time-weighted histograms) end at the last query event, not
-// at whatever outage the infinite stochastic stream scheduled next.
-func (sm *sim) loop() error {
+// step pops and handles one event, retiring its box to the arena
+// afterwards, and reports whether events remain. Once every query is
+// terminal, remaining fault events are discarded without advancing the
+// clock: the makespan (and the time-weighted histograms) end at the
+// last query event, not at whatever outage the infinite stochastic
+// stream scheduled next.
+func (sm *sim) step() (bool, error) {
 	for sm.evs.Len() > 0 {
 		e := heap.Pop(&sm.evs).(*event)
 		if (e.kind == evLaneDown || e.kind == evLaneUp) && sm.open == 0 {
+			sm.arena.put(e)
 			continue
 		}
 		sm.advance(e.at)
+		Live.events.Add(1)
+		var err error
 		switch e.kind {
 		case evArrival:
-			if err := sm.onArrival(e.q); err != nil {
-				return err
-			}
+			err = sm.onArrival(e.q)
 		case evPrefillDone:
-			if err := sm.onPrefillDone(e.q, e.rep); err != nil {
-				return err
-			}
+			err = sm.onPrefillDone(e.q, e.rep)
 		case evQuantumDone:
-			if err := sm.onQuantumDone(e); err != nil {
-				return err
-			}
+			err = sm.onQuantumDone(e)
 		case evLaneDown:
-			if err := sm.onLaneDown(e.rep, e.until); err != nil {
-				return err
-			}
+			err = sm.onLaneDown(e.rep, e.until)
 		case evLaneUp:
-			if err := sm.onLaneUp(e.rep); err != nil {
-				return err
-			}
+			err = sm.onLaneUp(e.rep)
 		}
+		sm.arena.put(e)
+		return true, err
 	}
-	return nil
+	return false, nil
 }
 
 // onArrival admits or rejects a query, then tries to start prefills.
@@ -520,21 +583,25 @@ func (sm *sim) loop() error {
 func (sm *sim) onArrival(q *query) error {
 	if q.attempts == 0 {
 		sm.m.Arrived++
+		Live.arrived.Add(1)
 	}
 	if sm.cfg.QueueCap > 0 && sm.inSystem >= sm.cfg.QueueCap {
 		if sm.cfg.MaxRetries > 0 && q.attempts < sm.cfg.MaxRetries {
 			q.attempts++
 			sm.m.Retries++
+			Live.retries.Add(1)
 			sm.traceInstant("retry", q)
-			sm.push(&event{at: sm.now + sm.backoff(q.attempts), kind: evArrival, q: q})
+			sm.push(event{at: sm.now + sm.backoff(q.attempts), kind: evArrival, q: q})
 			return nil
 		}
 		sm.m.Rejected++
+		Live.rejected.Add(1)
 		sm.open--
 		sm.traceInstant("reject", q)
 		return nil
 	}
 	sm.m.Admitted++
+	Live.admitted.Add(1)
 	sm.maybeCorrupt(q)
 	sm.inSystem++
 	if sm.inSystem > sm.m.MaxQueueDepth {
@@ -554,6 +621,7 @@ func (sm *sim) expired(q *query) bool {
 // abort drops a query at a scheduling boundary.
 func (sm *sim) abort(q *query) {
 	sm.m.TimedOut++
+	Live.timedOut.Add(1)
 	sm.inSystem--
 	sm.open--
 	sm.traceInstant("timeout", q)
@@ -616,7 +684,7 @@ func (sm *sim) startPrefill(q *query, ri int) error {
 		sm.socBusySecs += ttlt
 		sm.pimBusySecs += ttlt
 		sm.traceSpan(ri, traceLaneSoC, "prefill", q, sm.now, ttft)
-		sm.push(&event{at: sm.now + ttft, kind: evPrefillDone, q: q, rep: ri})
+		sm.push(event{at: sm.now + ttft, kind: evPrefillDone, q: q, rep: ri})
 		return nil
 	default:
 		// Cooperative lanes: prefill takes the SoC route (the PIM lane
@@ -648,7 +716,7 @@ func (sm *sim) startPrefill(q *query, ri int) error {
 		sm.busySoC++
 		sm.socBusySecs += pre
 		sm.traceSpan(ri, traceLaneSoC, "prefill", q, sm.now, pre)
-		sm.push(&event{at: sm.now + pre, kind: evPrefillDone, q: q, rep: ri})
+		sm.push(event{at: sm.now + pre, kind: evPrefillDone, q: q, rep: ri})
 		return nil
 	}
 }
@@ -670,7 +738,7 @@ func (sm *sim) onPrefillDone(q *query, ri int) error {
 		if err != nil {
 			return err
 		}
-		sm.push(&event{at: sm.now + dur, kind: evQuantumDone, q: q, rep: ri, steps: q.decode - 1})
+		sm.push(event{at: sm.now + dur, kind: evQuantumDone, q: q, rep: ri, steps: q.decode - 1})
 		return nil
 	}
 	r.socBusy = false
@@ -774,7 +842,7 @@ func (sm *sim) dispatchDecode(ri int) error {
 		if penalty > 0 {
 			sm.traceSpan(ri, traceLanePIM, "fault-recovery", q, start, penalty)
 		}
-		sm.push(&event{
+		sm.push(event{
 			at: start + penalty + dur, kind: evQuantumDone, q: q, rep: ri,
 			steps: steps, dur: dur, factor: factor,
 		})
@@ -835,6 +903,7 @@ func (sm *sim) onQuantumDone(e *event) error {
 // complete retires a cooperative-mode query.
 func (sm *sim) complete(q *query) {
 	sm.m.Completed++
+	Live.completed.Add(1)
 	sm.inSystem--
 	sm.open--
 	ttlt := q.prevToken - q.arrival

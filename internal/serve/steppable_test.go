@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"reflect"
+	"testing"
+
+	"facil/internal/engine"
+	"facil/internal/workload"
+)
+
+// stepCfg is a small two-lane scenario exercising admission bounds,
+// retries and preemption — enough machinery that a divergence between
+// Run and the stepped loop would show.
+func stepCfg() SimConfig {
+	return SimConfig{
+		Mode: Cooperative, Kind: engine.FACIL,
+		Replicas: 2, ArrivalRate: 2, Queries: 40,
+		Workload: workload.AlpacaSpec(), Seed: 7,
+		QueueCap: 8, DeadlineTTLT: 20, MaxRetries: 2,
+	}
+}
+
+// TestSteppedRunMatchesRun drives a Sim one event at a time and asserts
+// the Metrics are identical to the one-shot Run of the same config —
+// stepping changes who turns the crank, not what happens.
+func TestSteppedRunMatchesRun(t *testing.T) {
+	s := servingSystem(t)
+	want, err := Run(s, stepCfg())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	sim, err := NewSim(s, stepCfg())
+	if err != nil {
+		t.Fatalf("NewSim: %v", err)
+	}
+	steps := 0
+	var lastNow float64
+	for {
+		more, err := sim.Step()
+		if err != nil {
+			t.Fatalf("Step %d: %v", steps, err)
+		}
+		if !more {
+			break
+		}
+		steps++
+		if now := sim.Now(); now < lastNow {
+			t.Fatalf("virtual clock went backwards: %g after %g", now, lastNow)
+		} else {
+			lastNow = now
+		}
+	}
+	if steps == 0 {
+		t.Fatal("no events stepped")
+	}
+	got := sim.Finish()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("stepped metrics diverge from Run:\n got %+v\nwant %+v", got, want)
+	}
+	if sim.Pending() != 0 {
+		t.Errorf("Pending() = %d after drain", sim.Pending())
+	}
+}
+
+// TestLiveCountersAdvance pins the Live counter wiring: a run moves the
+// global counters by exactly its own Metrics accounting.
+func TestLiveCountersAdvance(t *testing.T) {
+	s := servingSystem(t)
+	before := Live.Snapshot()
+	m, err := Run(s, stepCfg())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	after := Live.Snapshot()
+	// Other tests may run concurrently under -parallel; counters are
+	// monotonic, so deltas are at least this run's contribution.
+	if d := after.Completed - before.Completed; d < int64(m.Completed) {
+		t.Errorf("Completed advanced by %d, want >= %d", d, m.Completed)
+	}
+	if d := after.Arrived - before.Arrived; d < int64(m.Arrived) {
+		t.Errorf("Arrived advanced by %d, want >= %d", d, m.Arrived)
+	}
+	if d := after.RunsFinished - before.RunsFinished; d < 1 {
+		t.Errorf("RunsFinished advanced by %d, want >= 1", d)
+	}
+	if d := after.Events - before.Events; d <= 0 {
+		t.Errorf("Events advanced by %d, want > 0", d)
+	}
+	if d := after.VirtualSeconds - before.VirtualSeconds; d < m.Makespan*0.99 {
+		t.Errorf("VirtualSeconds advanced by %g, want >= makespan %g", d, m.Makespan)
+	}
+}
+
+// TestEventArenaRecycles pins the free-list contract: a retired box is
+// handed back by the next get, cleared.
+func TestEventArenaRecycles(t *testing.T) {
+	var a eventArena
+	e1 := a.get()
+	e1.kind = evQuantumDone
+	e1.steps = 3
+	a.put(e1)
+	e2 := a.get()
+	if e2 != e1 {
+		t.Error("get did not reuse the retired box")
+	}
+	if e2.kind != evArrival || e2.steps != 0 {
+		t.Errorf("retired box not cleared: %+v", *e2)
+	}
+	if e3 := a.get(); e3 == e1 {
+		t.Error("empty arena returned an in-use box")
+	}
+}
