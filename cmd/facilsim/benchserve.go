@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"facil/internal/engine"
+	"facil/internal/llm"
+	"facil/internal/serve"
+	"facil/internal/soc"
+	"facil/internal/workload"
+)
+
+// serveBenchReport is the schema of BENCH_serve.json — the committed
+// perf baseline for the serving event loop, next to BENCH_dram.json.
+// Regenerate with scripts/bench.sh (or `go run ./cmd/facilsim
+// -benchserve`) on an otherwise idle machine.
+type serveBenchReport struct {
+	GeneratedBy string `json:"generated_by"`
+	GoVersion   string `json:"go_version"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+
+	// Full-run cost of the timing-wheel engine (construction + every
+	// event + Finish) per simulated query, and the queries the simulator
+	// pushes through per wall-clock second (the fleet-sweep currency;
+	// the acceptance bar is >= 1e5 on one core).
+	SimNsPerQuery    float64 `json:"sim_ns_per_query"`
+	SimQueriesPerSec float64 `json:"sim_queries_per_sec"`
+	// SimAllocsPerRun is the whole run's allocation count — setup only;
+	// the stepping steady state allocates nothing (gated by
+	// TestServeSteadyStateZeroAllocs).
+	SimAllocsPerRun int64 `json:"sim_allocs_per_run"`
+
+	// The retained heap-based ReferenceSim on the same scenario, and
+	// the full-run speedup the rebuild buys (the event-loop-only ratio
+	// gated by TestOptimizedSimSpeedup is higher).
+	ReferenceNsPerQuery float64 `json:"reference_ns_per_query"`
+	SimSpeedup          float64 `json:"sim_speedup"`
+}
+
+// serveBenchConfig mirrors internal/serve's perfConfig: heavy sustained
+// load on a bounded queue, fixed-length workload, fault layer off.
+func serveBenchConfig() serve.SimConfig {
+	fixed := func(tokens int) workload.LengthDist {
+		return workload.LengthDist{MedianTokens: float64(tokens), Min: tokens, Max: tokens}
+	}
+	return serve.SimConfig{
+		Mode:        serve.Cooperative,
+		Kind:        engine.FACIL,
+		Replicas:    2,
+		ArrivalRate: 50,
+		Queries:     2000,
+		Workload:    workload.Spec{Name: "fixed", Prefill: fixed(256), Decode: fixed(64)},
+		Seed:        42,
+		QueueCap:    16,
+	}
+}
+
+// runServeBench executes the serving-loop benchmarks in-process and
+// writes the JSON report to stdout.
+func runServeBench() int {
+	fail := func(err error) int {
+		fmt.Fprintf(os.Stderr, "facilsim: -benchserve: %v\n", err)
+		return 1
+	}
+	sys, err := engine.NewSystem(soc.IPhone, llm.Phi1_5(), engine.DefaultConfig())
+	if err != nil {
+		return fail(err)
+	}
+	cfg := serveBenchConfig()
+
+	rep := serveBenchReport{
+		GeneratedBy: "go run ./cmd/facilsim -benchserve (see scripts/bench.sh)",
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+
+	// Optimized engine, full run (one warm run first so the engine's
+	// shared latency caches don't bill the first iteration).
+	if _, err := serve.Run(sys, cfg); err != nil {
+		return fail(err)
+	}
+	var runErr error
+	optRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := serve.Run(sys, cfg); err != nil {
+				runErr = err
+				return
+			}
+		}
+	})
+	if runErr != nil {
+		return fail(runErr)
+	}
+	rep.SimNsPerQuery = float64(optRes.NsPerOp()) / float64(cfg.Queries)
+	rep.SimQueriesPerSec = 1e9 / rep.SimNsPerQuery
+	rep.SimAllocsPerRun = optRes.AllocsPerOp()
+
+	// Retained reference engine, same scenario.
+	refRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := serve.ReferenceRun(sys, cfg); err != nil {
+				runErr = err
+				return
+			}
+		}
+	})
+	if runErr != nil {
+		return fail(runErr)
+	}
+	rep.ReferenceNsPerQuery = float64(refRes.NsPerOp()) / float64(cfg.Queries)
+	if rep.SimNsPerQuery > 0 {
+		rep.SimSpeedup = rep.ReferenceNsPerQuery / rep.SimNsPerQuery
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return fail(err)
+	}
+	return 0
+}

@@ -116,6 +116,7 @@ func mainErr() int {
 	faultSeed := flag.Int64("faultseed", 0, "resilience: fault-scenario seed (0 = default)")
 	policy := flag.String("policy", "", "resilience: comma-separated degradation policies (none, soc-fallback, failover)")
 	bench := flag.Bool("bench", false, "run the DRAM scheduler perf baseline and print BENCH_dram.json to stdout")
+	benchServe := flag.Bool("benchserve", false, "run the serving-loop perf baseline and print BENCH_serve.json to stdout")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -188,6 +189,9 @@ func mainErr() int {
 
 	if *bench {
 		return runBench(ctx)
+	}
+	if *benchServe {
+		return runServeBench()
 	}
 
 	// Assemble the scenario: a replayed file forms the base, explicit

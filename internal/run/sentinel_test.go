@@ -1,0 +1,135 @@
+package run
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestSentinelRoundTrips pins the scenario sentinel semantics through
+// the full Decode -> Save -> Load -> Args pipeline: QueueCap and SLO use
+// -1 for "keep the experiment default" because 0 is meaningful for both
+// (unbounded queue / no SLO), so the recorded form must spell those
+// fields out, survive a replay byte-exactly, and render to the flag
+// form only when explicitly set (>= 0).
+func TestSentinelRoundTrips(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		want Scenario
+		args []string
+	}{
+		{
+			name: "empty document keeps every default sentinel",
+			json: `{}`,
+			want: DefaultScenario(),
+			args: nil,
+		},
+		{
+			name: "explicit -1 sentinels equal the defaults",
+			json: `{"queuecap": -1, "slo": -1}`,
+			want: DefaultScenario(),
+			args: nil,
+		},
+		{
+			name: "zero queuecap means unbounded, not default",
+			json: `{"queuecap": 0}`,
+			want: Scenario{QueueCap: 0, SLO: -1},
+			args: []string{"-queuecap", "0"},
+		},
+		{
+			name: "zero slo means no deadline, not default",
+			json: `{"slo": 0}`,
+			want: Scenario{QueueCap: -1, SLO: 0},
+			args: []string{"-slo", "0"},
+		},
+		{
+			name: "both zero-valued fields survive explicitly",
+			json: `{"queuecap": 0, "slo": 0}`,
+			want: Scenario{QueueCap: 0, SLO: 0},
+			args: []string{"-queuecap", "0", "-slo", "0"},
+		},
+		{
+			name: "positive overrides pass through",
+			json: `{"queuecap": 8, "slo": 12.5, "queries": 64}`,
+			want: Scenario{Queries: 64, QueueCap: 8, SLO: 12.5},
+			args: []string{"-queries", "64", "-queuecap", "8", "-slo", "12.5"},
+		},
+		{
+			name: "zero-value numeric fields stay experiment defaults",
+			json: `{"queries": 0, "seed": 0, "scale": 0, "faultseed": 0}`,
+			want: DefaultScenario(),
+			args: nil,
+		},
+		{
+			name: "string sweeps ride along unchanged",
+			json: `{"experiments": ["serving2"], "modes": "cooperative", "queuecap": 4}`,
+			want: Scenario{
+				Experiments: []string{"serving2"},
+				Modes:       "cooperative",
+				QueueCap:    4, SLO: -1,
+			},
+			args: []string{"-id", "serving2", "-modes", "cooperative", "-queuecap", "4"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc, err := Decode(strings.NewReader(tc.json))
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if !reflect.DeepEqual(sc, tc.want) {
+				t.Fatalf("Decode = %+v, want %+v", sc, tc.want)
+			}
+			path := filepath.Join(t.TempDir(), "scenario.json")
+			if err := sc.Save(path); err != nil {
+				t.Fatalf("Save: %v", err)
+			}
+			replayed, err := Load(path)
+			if err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+			if !reflect.DeepEqual(replayed, sc) {
+				t.Fatalf("Save/Load round trip changed the scenario:\n before %+v\n after  %+v", sc, replayed)
+			}
+			got := replayed.Args()
+			if len(got) == 0 && len(tc.args) == 0 {
+				return
+			}
+			if !reflect.DeepEqual(got, tc.args) {
+				t.Fatalf("Args = %q, want %q", got, tc.args)
+			}
+		})
+	}
+}
+
+// TestSentinelSecondGeneration replays a saved scenario through a second
+// Save/Load cycle: the recorded form must be a fixed point (recording a
+// replay changes nothing), including the not-omitempty sentinel fields.
+func TestSentinelSecondGeneration(t *testing.T) {
+	sc, err := Decode(strings.NewReader(`{"queuecap": 0, "slo": 0, "modes": "serial"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "gen1.json")
+	p2 := filepath.Join(dir, "gen2.json")
+	if err := sc.Save(p1); err != nil {
+		t.Fatal(err)
+	}
+	gen1, err := Load(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gen1.Save(p2); err != nil {
+		t.Fatal(err)
+	}
+	gen2, err := Load(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gen2, sc) || !reflect.DeepEqual(gen2.Args(), sc.Args()) {
+		t.Fatalf("second-generation replay drifted:\n original %+v\n replayed %+v", sc, gen2)
+	}
+}

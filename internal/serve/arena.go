@@ -1,31 +1,41 @@
 package serve
 
-// eventArena is the serving simulator's event allocator: a free list of
-// event values recycled as the loop retires them (the ROADMAP "arena"
-// treatment applied to the serve event allocation path, mirroring the
-// DRAM scheduler's slot pool). The simulator allocates each event box at
-// most once; steady state — retries, prefill/quantum chains, fault
-// streams — reuses retired boxes instead of garbage-collecting them.
-// One arena belongs to one sim, so no locking is needed.
+// eventArena is the serving simulator's event allocator: a contiguous
+// slab of event values with an intrusive free list threaded through the
+// events' next links (the ROADMAP "arena" treatment applied to the serve
+// event path, mirroring the DRAM scheduler's slot pool). The simulator
+// addresses events by int32 slab index — never by pointer — so retiring
+// and recycling one is two stores, the steady state allocates nothing,
+// and a retired event cannot be aliased by a stale pointer. One arena
+// belongs to one wheel (one sim), so no locking is needed.
 type eventArena struct {
-	free []*event
+	slab []event
+	// free heads the intrusive free list (-1 = empty; reset arms it).
+	free int32
 }
 
-// get returns an event box, reusing a retired one when available. The
-// caller overwrites every field (push copies a whole event value in),
-// so get does not zero.
-func (a *eventArena) get() *event {
-	if n := len(a.free); n > 0 {
-		e := a.free[n-1]
-		a.free = a.free[:n-1]
-		return e
+// reset readies the arena, keeping any slab capacity from a prior run.
+func (a *eventArena) reset() {
+	a.slab = a.slab[:0]
+	a.free = -1
+}
+
+// alloc returns the index of a free slab slot, reusing a retired one
+// when available. The caller overwrites the whole event value, so alloc
+// does not clear.
+func (a *eventArena) alloc() int32 {
+	if a.free >= 0 {
+		idx := a.free
+		a.free = a.slab[idx].next
+		return idx
 	}
-	return new(event)
+	a.slab = append(a.slab, event{})
+	return int32(len(a.slab) - 1)
 }
 
-// put retires a processed event for the next get. The box is cleared so
-// a stale query pointer cannot keep a retired query reachable.
-func (a *eventArena) put(e *event) {
-	*e = event{}
-	a.free = append(a.free, e)
+// release retires a processed event for the next alloc. The slot is
+// cleared so stale scheduling state cannot leak into its next use.
+func (a *eventArena) release(idx int32) {
+	a.slab[idx] = event{next: a.free}
+	a.free = idx
 }

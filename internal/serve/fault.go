@@ -86,7 +86,7 @@ func (sm *sim) initFaults(s *engine.System) error {
 	for ri := range fs.lanes {
 		fs.lanes[ri] = fs.sc.Lanes(ri)
 		if w, ok := fs.lanes[ri].Next(); ok {
-			sm.push(event{at: w.Start, kind: evLaneDown, rep: ri, until: w.End})
+			sm.push(event{at: w.Start, kind: evLaneDown, rep: int32(ri), until: w.End})
 		}
 	}
 	sm.flt = fs
@@ -164,9 +164,9 @@ func (sm *sim) onLaneDown(ri int, until float64) error {
 	if until > r.downUntil {
 		r.downUntil = until
 	}
-	sm.push(event{at: until, kind: evLaneUp, rep: ri})
+	sm.push(event{at: until, kind: evLaneUp, rep: int32(ri)})
 	if w, ok := sm.flt.lanes[ri].Next(); ok {
-		sm.push(event{at: w.Start, kind: evLaneDown, rep: ri, until: w.End})
+		sm.push(event{at: w.Start, kind: evLaneDown, rep: int32(ri), until: w.End})
 	}
 	// Queries already queued on the dead lane reroute now; an in-flight
 	// quantum still completes (fail-stop at scheduling boundaries).
@@ -241,7 +241,7 @@ func (sm *sim) acquirePIM(ri int) bool {
 // what makes it never worse than PolicySoCFallback.
 func (sm *sim) liveReplica(ri int) int {
 	for i := range sm.reps {
-		if i != ri && sm.pimLive(i) && !sm.reps[i].pimBusy && len(sm.reps[i].decodeQ) == 0 {
+		if i != ri && sm.pimLive(i) && !sm.reps[i].pimBusy && sm.reps[i].decodeQ.empty() {
 			return i
 		}
 	}
@@ -251,7 +251,8 @@ func (sm *sim) liveReplica(ri int) int {
 // degrade routes a query whose PIM dispatch failed according to the
 // configured policy: fail it, run its decode on the SoC fallback path,
 // or migrate it to a live replica (falling back to SoC when none).
-func (sm *sim) degrade(q *query, ri int) error {
+func (sm *sim) degrade(qi int32, ri int) error {
+	q := &sm.qs[qi]
 	switch sm.cfg.Policy {
 	case PolicyFailover:
 		if rj := sm.liveReplica(ri); rj >= 0 {
@@ -259,7 +260,7 @@ func (sm *sim) degrade(q *query, ri int) error {
 			Live.failedOver.Add(1)
 			q.penalty += sm.failoverPen
 			sm.traceInstant("failover", q)
-			sm.reps[rj].decodeQ = append(sm.reps[rj].decodeQ, q)
+			sm.reps[rj].decodeQ.push(sm.qs, qi)
 			return sm.dispatchDecode(rj)
 		}
 		fallthrough
@@ -270,7 +271,7 @@ func (sm *sim) degrade(q *query, ri int) error {
 			Live.degraded.Add(1)
 			sm.traceInstant("degrade", q)
 		}
-		sm.reps[ri].socQ = append(sm.reps[ri].socQ, q)
+		sm.reps[ri].socQ.push(sm.qs, qi)
 		return sm.dispatchSoCDecode(ri)
 	default:
 		sm.failQuery(q, "lane-fail")
@@ -285,9 +286,9 @@ func (sm *sim) degrade(q *query, ri int) error {
 // inflation rather than starved admissions.
 func (sm *sim) dispatchSoCDecode(ri int) error {
 	r := &sm.reps[ri]
-	for !r.socBusy && len(r.socQ) > 0 {
-		q := r.socQ[0]
-		r.socQ = r.socQ[1:]
+	for !r.socBusy && !r.socQ.empty() {
+		qi := r.socQ.pop(sm.qs)
+		q := &sm.qs[qi]
 		if sm.expired(q) {
 			sm.abort(q)
 			continue
@@ -310,8 +311,8 @@ func (sm *sim) dispatchSoCDecode(ri int) error {
 			sm.traceSpan(ri, traceLaneSoC, "fault-recovery", q, sm.now, penalty)
 		}
 		sm.push(event{
-			at: sm.now + penalty + dur, kind: evQuantumDone, q: q, rep: ri,
-			steps: steps, dur: dur, factor: factor, soc: true,
+			at: sm.now + penalty + dur, kind: evQuantumDone, q: qi, rep: int32(ri),
+			steps: int32(steps), dur: dur, factor: factor, soc: true,
 		})
 	}
 	return nil

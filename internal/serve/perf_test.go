@@ -1,0 +1,262 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+
+	"facil/internal/engine"
+	"facil/internal/obs"
+)
+
+// perfConfig is the steady-state measurement scenario: heavy sustained
+// load on a bounded queue (so the backlog pins at the cap and every
+// TimeHist level is visited during warmup), a fixed-length workload (so
+// the flat latency caches fill early), no faults, no retries, no tracer.
+func perfConfig(queries int) SimConfig {
+	return SimConfig{
+		Mode:        Cooperative,
+		Kind:        engine.FACIL,
+		Replicas:    2,
+		ArrivalRate: 50,
+		Queries:     queries,
+		Workload:    fixedSpec(256, 64),
+		Seed:        42,
+		QueueCap:    16,
+	}
+}
+
+// drainSim steps a Sim to exhaustion and returns its Metrics.
+func drainSim(tb testing.TB, sim *Sim) Metrics {
+	for {
+		more, err := sim.Step()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if !more {
+			return sim.Finish()
+		}
+	}
+}
+
+// TestServeSteadyStateZeroAllocs is the allocation regression gate on
+// the serving loop: after warmup (event-arena slab, flat latency caches,
+// TimeHist levels and the engine's memoized caches all grown), stepping
+// the simulation must not allocate at all.
+func TestServeSteadyStateZeroAllocs(t *testing.T) {
+	s := servingSystem(t)
+	cfg := perfConfig(4000)
+	// Probe run: learn the total event count (it depends on the
+	// admission mix) and warm the engine's process-wide latency caches.
+	probe, err := NewSim(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for {
+		more, err := probe.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !more {
+			break
+		}
+		total++
+	}
+	probe.Finish()
+	// Measured run: warm the first half, then require the tail to step
+	// allocation-free. AllocsPerRun invokes the closure runs+1 times.
+	sim, err := NewSim(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := total / 2
+	for i := 0; i < warm; i++ {
+		if _, err := sim.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const runs = 10
+	chunk := (total - warm) / (runs + 2)
+	if chunk < 100 {
+		t.Fatalf("only %d events to measure over; grow the query count", total-warm)
+	}
+	exhausted := false
+	var stepErr error
+	avg := testing.AllocsPerRun(runs, func() {
+		for i := 0; i < chunk; i++ {
+			more, err := sim.Step()
+			if err != nil {
+				stepErr = err
+				return
+			}
+			if !more {
+				exhausted = true
+				return
+			}
+		}
+	})
+	if stepErr != nil {
+		t.Fatal(stepErr)
+	}
+	if exhausted {
+		t.Fatal("simulation drained during measurement; grow the query count")
+	}
+	if avg != 0 {
+		t.Fatalf("steady-state stepping allocates %.1f times per %d events, want 0", avg, chunk)
+	}
+}
+
+// TestOptimizedSimSpeedup gates the perf win of the timing-wheel
+// rebuild: a full simulation run (construction included) must beat the
+// retained reference engine by at least 3x (the acceptance bar; it
+// measures well above that on an idle runner, leaving headroom for CI
+// noise).
+func TestOptimizedSimSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping timing comparison in -short mode")
+	}
+	s := servingSystem(t)
+	cfg := perfConfig(2000)
+	// Time only the event loop: construction (workload sampling, slab
+	// setup) is identical work for both engines and would dilute the
+	// ratio the gate is about.
+	time := func(construct func() (func() (bool, error), func() Metrics)) float64 {
+		step, finish := construct() // warm the shared latency caches
+		for more, _ := step(); more; more, _ = step() {
+		}
+		finish()
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				step, finish := construct()
+				b.StartTimer()
+				for {
+					more, err := step()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !more {
+						break
+					}
+				}
+				finish()
+			}
+		})
+		return float64(r.NsPerOp())
+	}
+	optNs := time(func() (func() (bool, error), func() Metrics) {
+		sim, err := NewSim(s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim.Step, sim.Finish
+	})
+	refNs := time(func() (func() (bool, error), func() Metrics) {
+		sim, err := NewReferenceSim(s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim.Step, sim.Finish
+	})
+	if ratio := refNs / optNs; ratio < 3 {
+		t.Errorf("optimized sim only %.2fx faster than reference (opt %.0f ns, ref %.0f ns), want >= 3x",
+			ratio, optNs, refNs)
+	}
+}
+
+// BenchmarkSimDrain measures the optimized serving loop end to end —
+// construction, every event, Finish — reporting per-query cost and
+// simulated queries per wall-clock second (the ROADMAP's fleet-sweep
+// currency; the acceptance target is >= 1e5 queries/sec single-core).
+func BenchmarkSimDrain(b *testing.B) {
+	s := servingSystem(b)
+	cfg := perfConfig(2000)
+	if _, err := Run(s, cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim, err := NewSim(s, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		drainSim(b, sim)
+	}
+	b.StopTimer()
+	perQuery := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(cfg.Queries)
+	b.ReportMetric(perQuery, "ns/query")
+	b.ReportMetric(1e9/perQuery, "queries/sec")
+}
+
+// BenchmarkReferenceSimDrain is BenchmarkSimDrain on the retained heap
+// engine — the denominator of the speedup the rebuild buys.
+func BenchmarkReferenceSimDrain(b *testing.B) {
+	s := servingSystem(b)
+	cfg := perfConfig(2000)
+	if _, err := ReferenceRun(s, cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim, err := NewReferenceSim(s, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			more, err := sim.Step()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !more {
+				break
+			}
+		}
+		sim.Finish()
+	}
+	b.StopTimer()
+	perQuery := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(cfg.Queries)
+	b.ReportMetric(perQuery, "ns/query")
+	b.ReportMetric(1e9/perQuery, "queries/sec")
+}
+
+// traceBytes runs one simulation with a fresh tracer attached and
+// returns the serialized Chrome-trace JSON.
+func traceBytes(t *testing.T, run func(SimConfig), cfg SimConfig) []byte {
+	t.Helper()
+	tr := obs.New(1 << 16)
+	cfg.Tracer = tr
+	run(cfg)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSteppedTraceMatchesOneShot pins the tracer-aliasing fix: driving a
+// traced simulation one Step at a time must produce byte-identical
+// Chrome-trace output to the one-shot Run — a recycled event slot must
+// never leak stale state into an instrumentation callback. (See also
+// TestDifferentialTrace for optimized-vs-reference trace identity.)
+func TestSteppedTraceMatchesOneShot(t *testing.T) {
+	s := servingSystem(t)
+	base := traceConfig(Cooperative)
+	base.MaxRetries = 2
+	oneShot := traceBytes(t, func(cfg SimConfig) {
+		if _, err := Run(s, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}, base)
+	stepped := traceBytes(t, func(cfg SimConfig) {
+		sim, err := NewSim(s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drainSim(t, sim)
+	}, base)
+	if !bytes.Equal(oneShot, stepped) {
+		t.Errorf("stepped trace diverges from one-shot: %d vs %d bytes", len(stepped), len(oneShot))
+	}
+}

@@ -20,7 +20,7 @@ var servingOnce = struct {
 	err error
 }{}
 
-func servingSystem(t *testing.T) *engine.System {
+func servingSystem(t testing.TB) *engine.System {
 	t.Helper()
 	servingOnce.Do(func() {
 		servingOnce.s, servingOnce.err = engine.NewSystem(soc.IPhone, llm.Phi1_5(), engine.DefaultConfig())

@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"math/rand"
@@ -260,7 +259,10 @@ type Metrics struct {
 	MaxQueueDepth int
 }
 
-// query is one request flowing through the simulator.
+// query is one request flowing through the simulator. The optimized sim
+// stores all of a run's queries in one slab, in arrival order, and
+// threads pending FIFOs through the intrusive next link; the reference
+// sim heap-allocates them and leaves next untouched.
 type query struct {
 	id              int
 	arrival         float64
@@ -269,11 +271,50 @@ type query struct {
 	firstToken      float64 // prefill completion (token 1)
 	prevToken       float64 // last emitted token (TBT anchor)
 
+	// next is the intrusive pending-list link (-1 = none). A query sits
+	// in at most one place at a time — the admission FIFO, one decode
+	// queue, one SoC fallback queue, or an in-flight event — so a single
+	// link suffices.
+	next int32
+
 	// Fault-layer state (zero on the happy path):
 	attempts int     // client retries consumed so far
 	corrupt  bool    // scenario corrupted the PTE MapID
 	degraded bool    // counted in Metrics.Degraded already
 	penalty  float64 // one-shot delay before the next quantum (failover migration, PTE repair)
+}
+
+// qlist is an intrusive FIFO of slab queries linked through query.next.
+type qlist struct {
+	head, tail int32
+}
+
+// emptyQlist is the ready-to-use empty list.
+var emptyQlist = qlist{head: -1, tail: -1}
+
+// empty reports whether the list holds no queries.
+func (l *qlist) empty() bool { return l.head < 0 }
+
+// push appends a query index to the tail.
+func (l *qlist) push(qs []query, qi int32) {
+	qs[qi].next = -1
+	if l.tail < 0 {
+		l.head = qi
+	} else {
+		qs[l.tail].next = qi
+	}
+	l.tail = qi
+}
+
+// pop unlinks and returns the head query index (callers check empty).
+func (l *qlist) pop(qs []query) int32 {
+	qi := l.head
+	l.head = qs[qi].next
+	if l.head < 0 {
+		l.tail = -1
+	}
+	qs[qi].next = -1
+	return qi
 }
 
 // replica is one device: a SoC lane, a PIM lane, and its decode queue
@@ -285,26 +326,43 @@ type replica struct {
 	// pimFreeAt is when an in-flight relayout window releases the PIM
 	// lane (RelayoutHybrid only).
 	pimFreeAt float64
-	decodeQ   []*query
+	decodeQ   qlist
 
 	// Fault-layer state (untouched with the layer off):
 	pimDown   bool    // PIM lane currently failed
 	downAt    float64 // start of the current outage
 	downUntil float64 // latest scheduled end of the current outage
 	brk       breaker // circuit breaker over the PIM lane
-	socQ      []*query
+	socQ      qlist
 }
 
-// sim is the run state of one event-driven simulation.
+// wheelTicksPerGap is the tick resolution relative to the mean arrival
+// gap: with 8 ticks per gap, simultaneous dynamic events of one burst
+// spread across level-0 slots while the per-event tick math stays in
+// cheap int64 range for any realistic makespan.
+const wheelTicksPerGap = 8
+
+// sim is the run state of one event-driven simulation. The hot path is
+// allocation-free in steady state: queries live in one slab indexed by
+// arrival order (the arrival stream needs no scheduling structure at
+// all — nextArr is a cursor), dynamic events live in the timing wheel's
+// slab arena, pending queries thread through intrusive qlists, and the
+// per-token engine latencies are memoized in flat per-context arrays
+// that bypass the engine's mutex-guarded cache.
 type sim struct {
-	cfg   SimConfig
-	sys   *engine.System
-	evs   eventHeap
-	arena eventArena
-	seq   int64
-	reps  []replica
-	wait  []*query // admission FIFO feeding SoC lanes
-	relay float64  // per-handoff re-layout seconds (RelayoutHybrid)
+	cfg SimConfig
+	sys *engine.System
+	evs wheel
+	// seq numbers dynamic events after the arrival stream: arrivals own
+	// sequence numbers 0..Queries-1 (their slab index), so an arrival
+	// beats any wheel event scheduled at the same instant — exactly the
+	// reference heap's push order.
+	seq     int64
+	qs      []query
+	nextArr int32 // arrival cursor into qs
+	reps    []replica
+	wait    qlist   // admission FIFO feeding SoC lanes
+	relay   float64 // per-handoff re-layout seconds (RelayoutHybrid)
 
 	now      float64
 	inSystem int
@@ -317,6 +375,16 @@ type sim struct {
 	// discarded without advancing the clock, so an infinite stochastic
 	// fault stream cannot stretch the makespan.
 	open int
+
+	// stepMain/stepSoC memoize DecodeStepSeconds by context length for
+	// the configured design and the SoC fallback path (0 = not yet
+	// cached; real latencies are positive). preStatic memoizes
+	// TTFTStatic by prefill length. The values come from the engine's
+	// own memoized cache, so reading them here changes nothing but the
+	// lookup cost.
+	stepMain  []float64
+	stepSoC   []float64
+	preStatic []float64
 
 	// flt is nil with an empty fault scenario (layer off).
 	flt         *faultState
@@ -421,6 +489,11 @@ func Run(s *engine.System, cfg SimConfig) (Metrics, error) {
 // is byte-identical to Run with the same config: stepping changes who
 // turns the crank, not what happens.
 //
+// Internally the event loop runs on a hierarchical timing wheel over
+// value-typed slab events merged against the in-order arrival stream;
+// ReferenceSim is the retained pre-wheel implementation, and the
+// differential tests hold the two bit-identical.
+//
 // A Sim is single-threaded: Step and Finish must not be called
 // concurrently (snapshots of the global Live counters are the
 // concurrent-read path).
@@ -448,6 +521,11 @@ func NewSim(s *engine.System, cfg SimConfig) (*Sim, error) {
 		sys:  s,
 		reps: make([]replica, cfg.Replicas),
 		m:    Metrics{Mode: cfg.Mode, Kind: cfg.Kind, Replicas: cfg.Replicas},
+		wait: emptyQlist,
+	}
+	for ri := range sm.reps {
+		sm.reps[ri].decodeQ = emptyQlist
+		sm.reps[ri].socQ = emptyQlist
 	}
 	if cfg.Tracer.Enabled() {
 		sm.tr = cfg.Tracer
@@ -462,19 +540,40 @@ func NewSim(s *engine.System, cfg SimConfig) (*Sim, error) {
 	}
 	// The arrival process is owned by this run: a fresh RNG consumes
 	// exactly one exponential gap per query, in arrival order, matching
-	// the legacy Simulate clock.
+	// the legacy Simulate clock. Arrivals are not events — the slab,
+	// ordered by arrival time with nextArr as cursor, is the stream; a
+	// query's slab index doubles as its event sequence number.
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	var clock float64
+	sm.qs = make([]query, len(ds.Queries))
+	maxCtx, maxPre, tbtCap := 0, 0, 0
 	for i, q := range ds.Queries {
 		clock += rng.ExpFloat64() / cfg.ArrivalRate
-		sm.push(event{at: clock, kind: evArrival, q: &query{
-			id: i, arrival: clock, prefill: q.Prefill, decode: q.Decode,
-		}})
+		sm.qs[i] = query{
+			id: i, arrival: clock, prefill: q.Prefill, decode: q.Decode, next: -1,
+		}
+		if c := q.Prefill + q.Decode; c > maxCtx {
+			maxCtx = c
+		}
+		if q.Prefill > maxPre {
+			maxPre = q.Prefill
+		}
+		if q.Decode > 1 {
+			tbtCap += q.Decode - 1
+		}
 	}
+	sm.seq = int64(len(sm.qs))
 	sm.open = cfg.Queries
+	sm.evs.init(wheelTicksPerGap * cfg.ArrivalRate)
+	sm.stepMain = make([]float64, maxCtx+1)
+	sm.stepSoC = make([]float64, maxCtx+1)
+	sm.preStatic = make([]float64, maxPre+1)
+	sm.ttfts = make([]float64, 0, cfg.Queries)
+	sm.ttlts = make([]float64, 0, cfg.Queries)
+	sm.tbts = make([]float64, 0, tbtCap)
 	// The fault and retry layers arm only when configured, after the
-	// arrival events, so a faultless run's event sequence (and RNG
-	// stream) is untouched.
+	// arrival stream claimed its sequence numbers, so a faultless run's
+	// event sequence (and RNG stream) is untouched.
 	if cfg.MaxRetries > 0 {
 		sm.retryBase, sm.retryCap = cfg.RetryBase, cfg.RetryCap
 		if sm.retryBase == 0 {
@@ -504,9 +603,12 @@ func (s *Sim) Step() (bool, error) {
 // Now returns the simulation's virtual clock in seconds.
 func (s *Sim) Now() float64 { return s.sm.now }
 
-// Pending returns the number of scheduled events not yet processed
-// (including tail fault events that Step will discard).
-func (s *Sim) Pending() int { return s.sm.evs.Len() }
+// Pending returns the number of scheduled events not yet processed:
+// arrivals still to stream plus wheel events (including tail fault
+// events that Step will discard).
+func (s *Sim) Pending() int {
+	return len(s.sm.qs) - int(s.sm.nextArr) + s.sm.evs.count
+}
 
 // Finish reduces the run into its Metrics. Call it once, after Step
 // reports that no events remain; calling earlier summarizes a truncated
@@ -520,18 +622,62 @@ func (s *Sim) Finish() Metrics {
 	return s.sm.finish()
 }
 
-// push schedules an event value with the next tie-break sequence
-// number, boxing it through the recycling arena.
+// push schedules a dynamic event with the next tie-break sequence
+// number into the timing wheel.
 func (sm *sim) push(ev event) {
-	e := sm.arena.get()
-	*e = ev
-	e.seq = sm.seq
+	ev.seq = sm.seq
 	sm.seq++
-	heap.Push(&sm.evs, e)
+	sm.evs.schedule(ev)
+}
+
+// stepSeconds is the flat-cache front of engine.DecodeStepSeconds: the
+// serving loop calls it twice per token (quantum sizing and token
+// replay), so the mutex-and-map engine cache is paid once per (kind,
+// context) and array reads after that.
+func (sm *sim) stepSeconds(kind engine.Kind, ctx int) (float64, error) {
+	var cache []float64
+	switch kind {
+	case sm.cfg.Kind:
+		cache = sm.stepMain
+	case engine.SoCOnly:
+		cache = sm.stepSoC
+	}
+	if cache != nil && ctx >= 0 && ctx < len(cache) {
+		if v := cache[ctx]; v != 0 {
+			return v, nil
+		}
+		v, err := sm.sys.DecodeStepSeconds(kind, ctx)
+		if err != nil {
+			return 0, err
+		}
+		cache[ctx] = v
+		return v, nil
+	}
+	return sm.sys.DecodeStepSeconds(kind, ctx)
+}
+
+// ttftStatic is the flat-cache front of engine.TTFTStatic by prefill
+// length (non-Serial prefill dispatch).
+func (sm *sim) ttftStatic(prefill int) (float64, error) {
+	if prefill >= 0 && prefill < len(sm.preStatic) {
+		if v := sm.preStatic[prefill]; v != 0 {
+			return v, nil
+		}
+		v, err := sm.sys.TTFTStatic(sm.cfg.Kind, prefill)
+		if err != nil {
+			return 0, err
+		}
+		sm.preStatic[prefill] = v
+		return v, nil
+	}
+	return sm.sys.TTFTStatic(sm.cfg.Kind, prefill)
 }
 
 // advance moves the clock to t, charging the elapsed interval to the
 // time-weighted histograms at the state held since the last change.
+// Every clock movement funnels through here — arrivals, wheel events,
+// idle-gap jumps — so the histograms and the Live odometer cannot
+// disagree about elapsed virtual time.
 func (sm *sim) advance(t float64) {
 	if dt := t - sm.lastT; dt > 0 {
 		sm.m.QueueDepth.Add(float64(sm.inSystem), dt)
@@ -543,44 +689,66 @@ func (sm *sim) advance(t float64) {
 	sm.now = t
 }
 
-// step pops and handles one event, retiring its box to the arena
-// afterwards, and reports whether events remain. Once every query is
-// terminal, remaining fault events are discarded without advancing the
-// clock: the makespan (and the time-weighted histograms) end at the
-// last query event, not at whatever outage the infinite stochastic
-// stream scheduled next.
+// step merges the arrival cursor against the timing wheel, pops the
+// earlier of the two, handles it, and reports whether events remain.
+// Arrivals always carry lower sequence numbers than wheel events, so on
+// an exact (at) tie the arrival goes first — the reference heap's order.
+// Once every query is terminal, remaining fault events are discarded
+// without advancing the clock: the makespan (and the time-weighted
+// histograms) end at the last query event, not at whatever outage the
+// infinite stochastic stream scheduled next.
 func (sm *sim) step() (bool, error) {
-	for sm.evs.Len() > 0 {
-		e := heap.Pop(&sm.evs).(*event)
-		if (e.kind == evLaneDown || e.kind == evLaneUp) && sm.open == 0 {
-			sm.arena.put(e)
-			continue
+	for {
+		hasArr := int(sm.nextArr) < len(sm.qs)
+		var limAt float64
+		var limTick int64
+		if hasArr {
+			limAt = sm.qs[sm.nextArr].arrival
+			limTick = sm.evs.tickOf(limAt)
 		}
-		sm.advance(e.at)
-		Live.events.Add(1)
-		var err error
-		switch e.kind {
-		case evArrival:
-			err = sm.onArrival(e.q)
-		case evPrefillDone:
-			err = sm.onPrefillDone(e.q, e.rep)
-		case evQuantumDone:
-			err = sm.onQuantumDone(e)
-		case evLaneDown:
-			err = sm.onLaneDown(e.rep, e.until)
-		case evLaneUp:
-			err = sm.onLaneUp(e.rep)
+		idx, arrFirst := sm.evs.pop(hasArr, limAt, limTick)
+		if idx >= 0 {
+			// Copy the event out and retire its slot before handling:
+			// everything the handler schedules allocates fresh slots, so
+			// no callback can alias a recycled event.
+			ev := sm.evs.arena.slab[idx]
+			sm.evs.arena.release(idx)
+			if (ev.kind == evLaneDown || ev.kind == evLaneUp) && sm.open == 0 {
+				continue
+			}
+			sm.advance(ev.at)
+			Live.events.Add(1)
+			var err error
+			switch ev.kind {
+			case evArrival:
+				err = sm.onArrival(ev.q)
+			case evPrefillDone:
+				err = sm.onPrefillDone(ev.q, int(ev.rep))
+			case evQuantumDone:
+				err = sm.onQuantumDone(&ev)
+			case evLaneDown:
+				err = sm.onLaneDown(int(ev.rep), ev.until)
+			case evLaneUp:
+				err = sm.onLaneUp(int(ev.rep))
+			}
+			return true, err
 		}
-		sm.arena.put(e)
-		return true, err
+		if arrFirst {
+			qi := sm.nextArr
+			sm.nextArr++
+			sm.advance(sm.qs[qi].arrival)
+			Live.events.Add(1)
+			return true, sm.onArrival(qi)
+		}
+		return false, nil
 	}
-	return false, nil
 }
 
 // onArrival admits or rejects a query, then tries to start prefills.
 // A rejected query with retry budget left re-arrives after a jittered
 // exponential backoff instead of counting as Rejected.
-func (sm *sim) onArrival(q *query) error {
+func (sm *sim) onArrival(qi int32) error {
+	q := &sm.qs[qi]
 	if q.attempts == 0 {
 		sm.m.Arrived++
 		Live.arrived.Add(1)
@@ -591,7 +759,7 @@ func (sm *sim) onArrival(q *query) error {
 			sm.m.Retries++
 			Live.retries.Add(1)
 			sm.traceInstant("retry", q)
-			sm.push(event{at: sm.now + sm.backoff(q.attempts), kind: evArrival, q: q})
+			sm.push(event{at: sm.now + sm.backoff(q.attempts), kind: evArrival, q: qi})
 			return nil
 		}
 		sm.m.Rejected++
@@ -609,7 +777,7 @@ func (sm *sim) onArrival(q *query) error {
 	}
 	sm.traceInstant("arrival", q)
 	sm.traceDepth()
-	sm.wait = append(sm.wait, q)
+	sm.wait.push(sm.qs, qi)
 	return sm.dispatchPrefills()
 }
 
@@ -632,11 +800,11 @@ func (sm *sim) abort(q *query) {
 // Serial mode a replica must be entirely idle (both lanes and no decode
 // backlog) — the query owns the whole device.
 func (sm *sim) dispatchPrefills() error {
-	for len(sm.wait) > 0 {
-		q := sm.wait[0]
-		if sm.expired(q) {
-			sm.wait = sm.wait[1:]
-			sm.abort(q)
+	for !sm.wait.empty() {
+		qi := sm.wait.head
+		if sm.expired(&sm.qs[qi]) {
+			sm.wait.pop(sm.qs)
+			sm.abort(&sm.qs[qi])
 			continue
 		}
 		ri := -1
@@ -645,7 +813,7 @@ func (sm *sim) dispatchPrefills() error {
 			if r.socBusy {
 				continue
 			}
-			if sm.cfg.Mode == Serial && (r.pimBusy || len(r.decodeQ) > 0) {
+			if sm.cfg.Mode == Serial && (r.pimBusy || !r.decodeQ.empty()) {
 				continue
 			}
 			ri = i
@@ -654,8 +822,8 @@ func (sm *sim) dispatchPrefills() error {
 		if ri < 0 {
 			return nil
 		}
-		sm.wait = sm.wait[1:]
-		if err := sm.startPrefill(q, ri); err != nil {
+		sm.wait.pop(sm.qs)
+		if err := sm.startPrefill(qi, ri); err != nil {
 			return err
 		}
 	}
@@ -663,7 +831,8 @@ func (sm *sim) dispatchPrefills() error {
 }
 
 // startPrefill occupies the replica's SoC lane with q's prefill phase.
-func (sm *sim) startPrefill(q *query, ri int) error {
+func (sm *sim) startPrefill(qi int32, ri int) error {
+	q := &sm.qs[qi]
 	r := &sm.reps[ri]
 	switch sm.cfg.Mode {
 	case Serial:
@@ -684,7 +853,7 @@ func (sm *sim) startPrefill(q *query, ri int) error {
 		sm.socBusySecs += ttlt
 		sm.pimBusySecs += ttlt
 		sm.traceSpan(ri, traceLaneSoC, "prefill", q, sm.now, ttft)
-		sm.push(event{at: sm.now + ttft, kind: evPrefillDone, q: q, rep: ri})
+		sm.push(event{at: sm.now + ttft, kind: evPrefillDone, q: qi, rep: int32(ri)})
 		return nil
 	default:
 		// Cooperative lanes: prefill takes the SoC route (the PIM lane
@@ -693,7 +862,7 @@ func (sm *sim) startPrefill(q *query, ri int) error {
 		// additionally stalls the PIM lane for that window, because the
 		// weights are being rewritten. Designs that pay no re-layout of
 		// their own get it charged explicitly.
-		pre, err := sm.sys.TTFTStatic(sm.cfg.Kind, q.prefill)
+		pre, err := sm.ttftStatic(q.prefill)
 		if err != nil {
 			return err
 		}
@@ -716,14 +885,15 @@ func (sm *sim) startPrefill(q *query, ri int) error {
 		sm.busySoC++
 		sm.socBusySecs += pre
 		sm.traceSpan(ri, traceLaneSoC, "prefill", q, sm.now, pre)
-		sm.push(event{at: sm.now + pre, kind: evPrefillDone, q: q, rep: ri})
+		sm.push(event{at: sm.now + pre, kind: evPrefillDone, q: qi, rep: int32(ri)})
 		return nil
 	}
 }
 
 // onPrefillDone emits the first token and hands the query to the decode
 // lane (or completes it when there is nothing left to decode).
-func (sm *sim) onPrefillDone(q *query, ri int) error {
+func (sm *sim) onPrefillDone(qi int32, ri int) error {
+	q := &sm.qs[qi]
 	r := &sm.reps[ri]
 	q.firstToken = sm.now
 	q.prevToken = sm.now
@@ -738,7 +908,7 @@ func (sm *sim) onPrefillDone(q *query, ri int) error {
 		if err != nil {
 			return err
 		}
-		sm.push(event{at: sm.now + dur, kind: evQuantumDone, q: q, rep: ri, steps: q.decode - 1})
+		sm.push(event{at: sm.now + dur, kind: evQuantumDone, q: qi, rep: int32(ri), steps: int32(q.decode - 1)})
 		return nil
 	}
 	r.socBusy = false
@@ -748,7 +918,7 @@ func (sm *sim) onPrefillDone(q *query, ri int) error {
 	} else if !q.corrupt || sm.onCorruptHandoff(q) {
 		// The decode handoff is where a corrupted PTE MapID first hits
 		// the MC frontend mux; onCorruptHandoff fails or repairs it.
-		r.decodeQ = append(r.decodeQ, q)
+		r.decodeQ.push(sm.qs, qi)
 	}
 	if err := sm.dispatchPrefills(); err != nil {
 		return err
@@ -770,7 +940,7 @@ func (sm *sim) quantumSeconds(q *query, steps int) (float64, error) {
 func (sm *sim) quantumSecondsKind(q *query, steps int, kind engine.Kind, factor float64) (float64, error) {
 	var t float64
 	for i := 0; i < steps; i++ {
-		st, err := sm.sys.DecodeStepSeconds(kind, q.prefill+q.stepsDone+i+1)
+		st, err := sm.stepSeconds(kind, q.prefill+q.stepsDone+i+1)
 		if err != nil {
 			return 0, err
 		}
@@ -786,7 +956,7 @@ func (sm *sim) quantumSecondsKind(q *query, steps int, kind engine.Kind, factor 
 func (sm *sim) emitTokens(q *query, start float64, steps int, kind engine.Kind, factor float64) error {
 	t := start
 	for i := 0; i < steps; i++ {
-		st, err := sm.sys.DecodeStepSeconds(kind, q.prefill+q.stepsDone+i+1)
+		st, err := sm.stepSeconds(kind, q.prefill+q.stepsDone+i+1)
 		if err != nil {
 			return err
 		}
@@ -804,15 +974,15 @@ func (sm *sim) emitTokens(q *query, start float64, steps int, kind engine.Kind, 
 // queued query through the degradation policy instead.
 func (sm *sim) dispatchDecode(ri int) error {
 	r := &sm.reps[ri]
-	for !r.pimBusy && len(r.decodeQ) > 0 {
-		q := r.decodeQ[0]
-		r.decodeQ = r.decodeQ[1:]
+	for !r.pimBusy && !r.decodeQ.empty() {
+		qi := r.decodeQ.pop(sm.qs)
+		q := &sm.qs[qi]
 		if sm.expired(q) {
 			sm.abort(q)
 			continue
 		}
 		if sm.flt != nil && !sm.acquirePIM(ri) {
-			if err := sm.degrade(q, ri); err != nil {
+			if err := sm.degrade(qi, ri); err != nil {
 				return err
 			}
 			continue
@@ -843,8 +1013,8 @@ func (sm *sim) dispatchDecode(ri int) error {
 			sm.traceSpan(ri, traceLanePIM, "fault-recovery", q, start, penalty)
 		}
 		sm.push(event{
-			at: start + penalty + dur, kind: evQuantumDone, q: q, rep: ri,
-			steps: steps, dur: dur, factor: factor,
+			at: start + penalty + dur, kind: evQuantumDone, q: qi, rep: int32(ri),
+			steps: int32(steps), dur: dur, factor: factor,
 		})
 	}
 	if sm.flt != nil && sm.cfg.Policy != PolicyNone {
@@ -859,7 +1029,7 @@ func (sm *sim) dispatchDecode(ri int) error {
 // factor so the replay cannot drift if fault conditions changed
 // mid-quantum.
 func (sm *sim) onQuantumDone(e *event) error {
-	q, ri, steps := e.q, e.rep, e.steps
+	q, ri, steps := &sm.qs[e.q], int(e.rep), int(e.steps)
 	r := &sm.reps[ri]
 	if sm.cfg.Mode == Serial {
 		if err := sm.emitTokens(q, q.firstToken, steps, sm.cfg.Kind, 1); err != nil {
@@ -889,7 +1059,7 @@ func (sm *sim) onQuantumDone(e *event) error {
 		// Rejoin the replica's main decode queue: the next dispatch
 		// re-decides the route, so a degraded query returns to the PIM
 		// lane as soon as it recovers.
-		r.decodeQ = append(r.decodeQ, q)
+		r.decodeQ.push(sm.qs, e.q)
 	}
 	if e.soc {
 		// The freed SoC lane goes to waiting prefills first.

@@ -91,22 +91,24 @@ func TestLiveCountersAdvance(t *testing.T) {
 	}
 }
 
-// TestEventArenaRecycles pins the free-list contract: a retired box is
-// handed back by the next get, cleared.
+// TestEventArenaRecycles pins the free-list contract: a released slot is
+// handed back by the next alloc, cleared, and an empty free list grows
+// the slab instead of double-issuing a slot.
 func TestEventArenaRecycles(t *testing.T) {
 	var a eventArena
-	e1 := a.get()
-	e1.kind = evQuantumDone
-	e1.steps = 3
-	a.put(e1)
-	e2 := a.get()
-	if e2 != e1 {
-		t.Error("get did not reuse the retired box")
+	a.reset()
+	i1 := a.alloc()
+	a.slab[i1].kind = evQuantumDone
+	a.slab[i1].steps = 3
+	a.release(i1)
+	i2 := a.alloc()
+	if i2 != i1 {
+		t.Errorf("alloc returned slot %d, want the retired slot %d", i2, i1)
 	}
-	if e2.kind != evArrival || e2.steps != 0 {
-		t.Errorf("retired box not cleared: %+v", *e2)
+	if e := a.slab[i2]; e.kind != evArrival || e.steps != 0 || e.next != -1 {
+		t.Errorf("retired slot not cleared: %+v", e)
 	}
-	if e3 := a.get(); e3 == e1 {
-		t.Error("empty arena returned an in-use box")
+	if i3 := a.alloc(); i3 == i1 {
+		t.Error("empty free list re-issued an in-use slot")
 	}
 }

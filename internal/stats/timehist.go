@@ -11,13 +11,25 @@ import (
 // reflect *time at a level* rather than *number of transitions*. The
 // event-driven serving simulator feeds it one (value, duration) pair per
 // inter-event interval.
+//
+// The common signals are small non-negative integers (depths, lane
+// counts), so their weight accumulates in a dense per-level array:
+// memory stays O(max level) instead of O(events), and once the array has
+// grown to the signal's range Add allocates nothing — the serving loop's
+// steady state depends on that. Non-integer or out-of-range values spill
+// into a sample list with the original behavior.
 type TimeHist struct {
-	values  []float64
+	dense   []float64 // dense[v] = time spent at integer level v
+	values  []float64 // spill samples: non-integer or huge levels
 	weights []float64
 	total   float64
 	max     float64
 	sum     float64 // integral of value*dt
 }
+
+// timeHistDenseMax bounds the dense array so a wild sample cannot ask
+// for gigabytes; levels at or beyond it spill.
+const timeHistDenseMax = 1 << 16
 
 // Add records that the signal held value for duration seconds. Zero or
 // negative durations are ignored (zero-width intervals carry no weight).
@@ -25,13 +37,20 @@ func (h *TimeHist) Add(value, duration float64) {
 	if duration <= 0 {
 		return
 	}
-	h.values = append(h.values, value)
-	h.weights = append(h.weights, duration)
 	h.total += duration
 	h.sum += value * duration
 	if value > h.max {
 		h.max = value
 	}
+	if iv := int(value); float64(iv) == value && iv >= 0 && iv < timeHistDenseMax {
+		for iv >= len(h.dense) {
+			h.dense = append(h.dense, 0)
+		}
+		h.dense[iv] += duration
+		return
+	}
+	h.values = append(h.values, value)
+	h.weights = append(h.weights, duration)
 }
 
 // TotalTime returns the summed duration.
@@ -49,7 +68,9 @@ func (h *TimeHist) Mean() float64 {
 func (h *TimeHist) Max() float64 { return h.max }
 
 // Percentile returns the value below which the signal spent p percent of
-// the time (time-weighted percentile, 0 <= p <= 100).
+// the time (time-weighted percentile, 0 <= p <= 100). The walk merges
+// the dense levels (already in value order) with the sorted spill
+// samples.
 func (h *TimeHist) Percentile(p float64) float64 {
 	if h.total == 0 {
 		return 0
@@ -61,13 +82,37 @@ func (h *TimeHist) Percentile(p float64) float64 {
 	sort.Slice(idx, func(a, b int) bool { return h.values[idx[a]] < h.values[idx[b]] })
 	target := p / 100 * h.total
 	var acc float64
-	for _, i := range idx {
-		acc += h.weights[i]
-		if acc >= target {
-			return h.values[i]
+	si := 0
+	lastV := math.Inf(-1)
+	for v, w := range h.dense {
+		if w == 0 {
+			continue
 		}
+		fv := float64(v)
+		for si < len(idx) && h.values[idx[si]] < fv {
+			acc += h.weights[idx[si]]
+			if acc >= target {
+				return h.values[idx[si]]
+			}
+			si++
+		}
+		acc += w
+		if acc >= target {
+			return fv
+		}
+		lastV = fv
 	}
-	return h.values[idx[len(idx)-1]]
+	for si < len(idx) {
+		acc += h.weights[idx[si]]
+		if acc >= target {
+			return h.values[idx[si]]
+		}
+		si++
+	}
+	if len(idx) > 0 && h.values[idx[len(idx)-1]] > lastV {
+		return h.values[idx[len(idx)-1]]
+	}
+	return lastV
 }
 
 // Bins histograms the time spent at each level into `bins` equal-width
@@ -79,6 +124,13 @@ func (h *TimeHist) Bins(lo, hi float64, bins int) []float64 {
 		return out
 	}
 	w := (hi - lo) / float64(bins)
+	for v, wt := range h.dense {
+		fv := float64(v)
+		if wt == 0 || fv < lo || fv >= hi {
+			continue
+		}
+		out[int((fv-lo)/w)] += wt
+	}
 	for i, v := range h.values {
 		if v < lo || v >= hi {
 			continue

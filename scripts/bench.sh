@@ -1,21 +1,34 @@
 #!/bin/sh
-# bench.sh — regenerate the DRAM scheduler perf baseline (BENCH_dram.json)
-# and print the raw go-test micro-benchmarks for eyeballing.
+# bench.sh — regenerate the committed perf baselines (BENCH_dram.json,
+# BENCH_serve.json) and print the raw go-test micro-benchmarks for
+# eyeballing.
 #
 # Run from the repo root on an otherwise idle machine:
 #
-#   ./scripts/bench.sh            # refresh BENCH_dram.json + print benches
+#   ./scripts/bench.sh            # refresh both baselines + print benches
 #
-# BENCH_dram.json is the committed perf trajectory: ns/request and
-# allocs/op for the optimized channel scheduler, the retained reference
-# scheduler it is measured against, streaming-replay throughput, and the
-# wall times of the fig6/tab1 headline experiments. Compare before/after
-# numbers when touching internal/dram.
+# BENCH_dram.json is the committed perf trajectory of the DRAM scheduler
+# hot path: ns/request and allocs/op for the optimized channel scheduler,
+# the retained reference scheduler it is measured against,
+# streaming-replay throughput, and the wall times of the fig6/tab1
+# headline experiments. Compare before/after numbers when touching
+# internal/dram.
+#
+# BENCH_serve.json is the serving event loop's counterpart: full-run
+# ns/query and simulated queries/sec for the timing-wheel engine against
+# the retained heap ReferenceSim. Compare before/after numbers when
+# touching internal/serve.
 set -eu
 cd "$(dirname "$0")/.."
 
 go test ./internal/dram/ -run '^$' -bench 'BenchmarkChannelDrain|BenchmarkReferenceChannelDrain|BenchmarkReplayStream' -benchmem
 
+go test ./internal/serve/ -run '^$' -bench 'BenchmarkSimDrain|BenchmarkReferenceSimDrain' -benchmem
+
 go run ./cmd/facilsim -bench > BENCH_dram.json.tmp
 mv BENCH_dram.json.tmp BENCH_dram.json
 cat BENCH_dram.json
+
+go run ./cmd/facilsim -benchserve > BENCH_serve.json.tmp
+mv BENCH_serve.json.tmp BENCH_serve.json
+cat BENCH_serve.json
