@@ -45,6 +45,16 @@
 // (comma-separated degradation policies: none, soc-fallback, failover);
 // -modes, -queuecap and -slo apply as for serving2.
 //
+// cluster (the fleet-scale serving extension; `facilsim -cluster` is
+// shorthand for the identifier) accepts -strategy (comma-separated
+// balancing strategies: round-robin, least-loaded, latency-weighted,
+// slo-tiered), -fleet (a platform[/macN]:count comma list, e.g.
+// "jetson:26,ideapad/mac8:26"), -devices (rescale the fleet preserving
+// its mix), -rate (cluster-wide q/s) and -sync (telemetry-barrier
+// interval in virtual seconds); -queries, -seed, -queuecap, -slo,
+// -faultseed, a single -policy and a single -faults MTBF apply
+// per device.
+//
 // -par N bounds the worker pool: independent experiment identifiers run
 // concurrently, and each ported experiment additionally fans its sweep
 // points out over up to N workers (0, the default, selects GOMAXPROCS;
@@ -115,6 +125,12 @@ func mainErr() int {
 	faults := flag.String("faults", "", "resilience: comma-separated lane MTBFs in seconds (empty = default)")
 	faultSeed := flag.Int64("faultseed", 0, "resilience: fault-scenario seed (0 = default)")
 	policy := flag.String("policy", "", "resilience: comma-separated degradation policies (none, soc-fallback, failover)")
+	clusterRun := flag.Bool("cluster", false, "shorthand: run the cluster experiment (equivalent to the 'cluster' identifier)")
+	strategy := flag.String("strategy", "", "cluster: comma-separated balancing strategies (round-robin, least-loaded, latency-weighted, slo-tiered; empty = all)")
+	fleet := flag.String("fleet", "", "cluster: device-class roster as platform[/macN]:count comma list (empty = default)")
+	devices := flag.Int("devices", 0, "cluster: rescale the fleet to this many devices, preserving the class mix (0 = keep roster counts)")
+	rate := flag.Float64("rate", 0, "cluster: cluster-wide arrival rate in q/s (0 = default)")
+	sync_ := flag.Float64("sync", 0, "cluster: telemetry-barrier interval in virtual seconds (0 = default)")
 	bench := flag.Bool("bench", false, "run the DRAM scheduler perf baseline and print BENCH_dram.json to stdout")
 	benchServe := flag.Bool("benchserve", false, "run the serving-loop perf baseline and print BENCH_serve.json to stdout")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -240,11 +256,29 @@ func mainErr() int {
 	if set["policy"] {
 		sc.Policy = *policy
 	}
+	if set["strategy"] {
+		sc.Strategy = *strategy
+	}
+	if set["fleet"] {
+		sc.Fleet = *fleet
+	}
+	if set["devices"] {
+		sc.Devices = *devices
+	}
+	if set["rate"] {
+		sc.Rate = *rate
+	}
+	if set["sync"] {
+		sc.Sync = *sync_
+	}
 	ids := flag.Args()
 	for _, id := range strings.Split(*idList, ",") {
 		if id = strings.TrimSpace(id); id != "" {
 			ids = append(ids, id)
 		}
+	}
+	if *clusterRun {
+		ids = append(ids, "cluster")
 	}
 	if len(ids) > 0 {
 		sc.Experiments = ids

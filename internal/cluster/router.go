@@ -1,0 +1,294 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"facil/internal/engine"
+	"facil/internal/fault"
+	"facil/internal/parallel"
+	"facil/internal/serve"
+	"facil/internal/stats"
+	"facil/internal/workload"
+)
+
+// device is the router's ledger entry for one fleet member: the
+// Stream-mode sim it drives, the router-side health breaker, and the
+// assignment-time signals the strategies read. inflight is assigned
+// minus observed-terminal — it leads the device's own counters by up to
+// one barrier, which is exactly the knowledge an assignment-time router
+// has.
+type device struct {
+	class    int
+	sim      *serve.Sim
+	brk      serve.Breaker
+	inflight int
+	routed   int
+	ewma     float64
+	ttftSeen int
+	last     serve.Probe
+}
+
+// splitmix64 decorrelates per-device seeds from one cluster seed (same
+// finalizer internal/fault uses for its stream hashing).
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// faulty deterministically selects whether device di carries a lane
+// fault stream: a FaultFraction Bernoulli drawn by hashing (FaultSeed,
+// di), so the faulty subset is a pure function of the config — stable
+// across strategies, worker counts and runs.
+func faulty(cfg Config, di int) bool {
+	if cfg.FaultFraction <= 0 {
+		return false
+	}
+	h := splitmix64(uint64(cfg.FaultSeed)<<16 + uint64(di))
+	return float64(h>>11)/(1<<53) < cfg.FaultFraction
+}
+
+// Run routes cfg.Queries across the fleet under cfg.Strategy and
+// returns the cluster-level reduction. The run is deterministic in
+// (cfg, fleet) at any Parallelism: all cross-device information flows
+// through the serial route/collect phases at telemetry barriers, and
+// between barriers devices advance independently (concurrently, via
+// parallel.Sweep) with no shared mutable state — see DESIGN.md §13 for
+// the merge argument.
+func Run(ctx context.Context, fl *Fleet, cfg Config) (Metrics, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	n := fl.Devices()
+
+	// Build one Stream-mode sim per device. Per-device seeds are
+	// decorrelated with splitmix64; the per-device ArrivalRate share
+	// only sizes each sim's timing wheel (arrivals come from Inject).
+	devs := make([]*device, 0, n)
+	for ci, cl := range fl.classes {
+		for k := 0; k < cl.Count; k++ {
+			di := len(devs)
+			scfg := serve.SimConfig{
+				Mode:             serve.Cooperative,
+				Kind:             engine.FACIL,
+				Replicas:         1,
+				ArrivalRate:      cfg.ArrivalRate / float64(n),
+				Stream:           true,
+				NoTBT:            true,
+				Seed:             int64(splitmix64(uint64(cfg.Seed) + 0x5EED*uint64(di))),
+				QueueCap:         cfg.QueueCap,
+				DeadlineTTLT:     cfg.DeadlineTTLT,
+				Policy:           cfg.Policy,
+				BreakerThreshold: cfg.DeviceBreakerThreshold,
+			}
+			if cfg.FaultMTBF > 0 && faulty(cfg, di) {
+				scfg.Faults = fault.Scenario{
+					Seed:     int64(splitmix64(uint64(cfg.FaultSeed) + uint64(di))),
+					LaneMTBF: cfg.FaultMTBF,
+					LaneMTTR: cfg.FaultMTTR,
+				}
+			}
+			sim, err := serve.NewSim(fl.systems[ci], scfg)
+			if err != nil {
+				return Metrics{}, fmt.Errorf("cluster: device %d (%s): %w", di, cl.Platform.Name, err)
+			}
+			devs = append(devs, &device{class: ci, sim: sim})
+		}
+	}
+
+	// The cluster arrival process mirrors a single sim's: one
+	// exponential gap per query from a run-owned RNG, plus a second
+	// stream drawing the priority class (Interactive 50%, Standard 30%,
+	// Batch 20%). Both streams are consumed for every query — shed or
+	// routed — so strategies see identical arrival sequences.
+	ds, err := workload.Generate(cfg.Workload, cfg.Queries, cfg.Seed+1)
+	if err != nil {
+		return Metrics{}, err
+	}
+	arrRNG := rand.New(rand.NewSource(cfg.Seed))
+	clsRNG := rand.New(rand.NewSource(cfg.Seed + 3))
+	strat := NewStrategy(cfg.Strategy, cfg)
+	views := make([]DeviceView, n)
+	idxs := make([]int, n)
+	for i := range idxs {
+		idxs[i] = i
+	}
+
+	m := Metrics{Strategy: cfg.Strategy, Devices: n, Queries: cfg.Queries}
+	Live.runsStarted.Add(1)
+
+	// advanceAll moves every device's virtual clock up to (strictly
+	// before) t, concurrently; devices share nothing mutable, and
+	// results are discarded by index, so worker count cannot matter.
+	advanceAll := func(t float64) error {
+		_, err := parallel.Sweep(ctx, idxs, func(_ context.Context, i int) (struct{}, error) {
+			return struct{}{}, devs[i].sim.AdvanceTo(t)
+		}, parallel.Workers(cfg.Parallelism))
+		return err
+	}
+	// collect refreshes the router's ledger from each device's counters
+	// — serially, in device order, so health-breaker strikes and EWMA
+	// updates happen in one deterministic sequence.
+	collect := func(at float64) {
+		for _, d := range devs {
+			p := d.sim.Probe()
+			termNew := p.Completed + p.Failed + p.TimedOut + p.Rejected
+			termOld := d.last.Completed + d.last.Failed + d.last.TimedOut + d.last.Rejected
+			d.inflight -= termNew - termOld
+			if cfg.BreakerThreshold > 0 {
+				for f := d.last.Failed; f < p.Failed; f++ {
+					if d.brk.Failure(at, cfg.BreakerThreshold) {
+						m.BreakerOpens++
+						Live.breakerOpens.Add(1)
+					}
+				}
+				if p.Completed > d.last.Completed && p.Failed == d.last.Failed {
+					d.brk.Success()
+				}
+			}
+			ttft, _ := d.sim.Latencies()
+			for _, v := range ttft[d.ttftSeen:] {
+				if d.ewma == 0 {
+					d.ewma = v
+				} else {
+					d.ewma = cfg.EWMAAlpha*v + (1-cfg.EWMAAlpha)*d.ewma
+				}
+			}
+			d.ttftSeen = len(ttft)
+			d.last = p
+		}
+	}
+
+	var clock float64
+	nextB := cfg.SyncInterval
+	for qi := 0; qi < cfg.Queries; qi++ {
+		clock += arrRNG.ExpFloat64() / cfg.ArrivalRate
+		u := clsRNG.Float64()
+		class := Interactive
+		switch {
+		case u >= 0.8:
+			class = Batch
+		case u >= 0.5:
+			class = Standard
+		}
+		// Cross every barrier at or before this arrival first, so the
+		// routing signals are at most one SyncInterval stale.
+		for clock >= nextB {
+			if err := ctx.Err(); err != nil {
+				return Metrics{}, err
+			}
+			if err := advanceAll(nextB); err != nil {
+				return Metrics{}, err
+			}
+			collect(nextB)
+			m.Barriers++
+			Live.barriers.Add(1)
+			nextB += cfg.SyncInterval
+		}
+		q := QueryInfo{
+			ID: qi, Arrival: clock,
+			Prefill: ds.Queries[qi].Prefill, Decode: ds.Queries[qi].Decode,
+			Class: class,
+		}
+		for i, d := range devs {
+			views[i] = DeviceView{
+				Eligible: cfg.BreakerThreshold == 0 || !d.brk.Blocked(clock, cfg.BreakerCooldown),
+				InFlight: d.inflight,
+				TTFTEWMA: d.ewma,
+			}
+		}
+		pick := strat.Pick(views, q)
+		if pick < 0 {
+			m.Shed++
+			m.ShedByClass[class]++
+			Live.shed.Add(1)
+			continue
+		}
+		if pick >= n || !views[pick].Eligible {
+			return Metrics{}, fmt.Errorf("cluster: strategy %s picked invalid device %d", cfg.Strategy, pick)
+		}
+		d := devs[pick]
+		if cfg.BreakerThreshold > 0 {
+			// Routing to a cooled-down open breaker is the half-open
+			// probe; the next collect's outcome closes or reopens it.
+			d.brk.Admit(clock, cfg.BreakerCooldown)
+		}
+		if err := d.sim.Inject(clock, q.Prefill, q.Decode); err != nil {
+			return Metrics{}, err
+		}
+		d.inflight++
+		d.routed++
+		m.Routed++
+		Live.routed.Add(1)
+	}
+
+	// Drain: seal every arrival stream and run all devices to
+	// quiescence, then settle the ledger one last time.
+	for _, d := range devs {
+		d.sim.Seal()
+	}
+	if err := advanceAll(math.Inf(1)); err != nil {
+		return Metrics{}, err
+	}
+	collect(clock)
+
+	// Reduce: pool latency samples, sum outcome counters, and average
+	// the per-device utilization/availability within each class.
+	var allTTFT, allTTLT []float64
+	classTTFT := make([][]float64, len(fl.classes))
+	m.PerClass = make([]ClassMetrics, len(fl.classes))
+	for ci, cl := range fl.classes {
+		m.PerClass[ci] = ClassMetrics{Class: cl.Label(), Devices: cl.Count}
+	}
+	for di, d := range devs {
+		if d.inflight != 0 {
+			return Metrics{}, fmt.Errorf("cluster: device %d ledger leak: %d in flight after drain", di, d.inflight)
+		}
+		dm := d.sim.Finish()
+		m.Arrived += dm.Arrived
+		m.Completed += dm.Completed
+		m.Failed += dm.Failed
+		m.TimedOut += dm.TimedOut
+		m.Rejected += dm.Rejected
+		m.Degraded += dm.Degraded
+		m.FailedOver += dm.FailedOver
+		m.DeviceBreakerOpens += dm.BreakerOpens
+		m.SLOMet += dm.SLOMet
+		if dm.Makespan > m.Makespan {
+			m.Makespan = dm.Makespan
+		}
+		ttft, ttlt := d.sim.Latencies()
+		allTTFT = append(allTTFT, ttft...)
+		allTTLT = append(allTTLT, ttlt...)
+		classTTFT[d.class] = append(classTTFT[d.class], ttft...)
+		pc := &m.PerClass[d.class]
+		pc.Routed += d.routed
+		pc.Completed += dm.Completed
+		pc.Failed += dm.Failed
+		pc.TimedOut += dm.TimedOut
+		pc.Rejected += dm.Rejected
+		pc.PIMUtilization += dm.PIMUtilization
+		pc.Availability += dm.Availability
+	}
+	for ci := range m.PerClass {
+		pc := &m.PerClass[ci]
+		if pc.Devices > 0 {
+			pc.PIMUtilization /= float64(pc.Devices)
+			pc.Availability /= float64(pc.Devices)
+		}
+		pc.TTFT = stats.QuantilesOf(classTTFT[ci])
+	}
+	m.TTFT = stats.QuantilesOf(allTTFT)
+	m.TTLT = stats.QuantilesOf(allTTLT)
+	if m.Makespan > 0 {
+		m.ThroughputQPS = float64(m.Completed) / m.Makespan
+		m.GoodputQPS = float64(m.SLOMet) / m.Makespan
+	}
+	Live.runsFinished.Add(1)
+	return m, nil
+}

@@ -1,0 +1,188 @@
+package cluster
+
+import (
+	"testing"
+)
+
+// v builds a DeviceView row for the scripted strategy tests.
+func v(eligible bool, inflight int, ewma float64) DeviceView {
+	return DeviceView{Eligible: eligible, InFlight: inflight, TTFTEWMA: ewma}
+}
+
+// picks feeds one scripted view set to a strategy repeatedly and
+// records the pick sequence, mutating the views' in-flight counts the
+// way the router's ledger would.
+func picks(s Strategy, views []DeviceView, qs []QueryInfo) []int {
+	out := make([]int, len(qs))
+	for i, q := range qs {
+		p := s.Pick(views, q)
+		out[i] = p
+		if p >= 0 {
+			views[p].InFlight++
+		}
+	}
+	return out
+}
+
+func eq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRoundRobinOrder(t *testing.T) {
+	s := NewStrategy(RoundRobin, Config{})
+	views := []DeviceView{v(true, 0, 0), v(false, 0, 0), v(true, 0, 0)}
+	qs := make([]QueryInfo, 5)
+	// Ineligible device 1 is skipped; the cursor wraps past it.
+	if got := picks(s, views, qs); !eq(got, []int{0, 2, 0, 2, 0}) {
+		t.Errorf("round-robin picks %v", got)
+	}
+	// All devices blocked: shed.
+	none := []DeviceView{v(false, 0, 0), v(false, 0, 0)}
+	if p := s.Pick(none, QueryInfo{}); p != -1 {
+		t.Errorf("round-robin picked %d from an empty candidate set", p)
+	}
+}
+
+func TestLeastLoadedOrder(t *testing.T) {
+	s := NewStrategy(LeastLoaded, Config{})
+	views := []DeviceView{v(true, 2, 0), v(true, 0, 0), v(true, 1, 0)}
+	// Fills the shallowest first, then lowest index on depth ties.
+	if got := picks(s, views, make([]QueryInfo, 4)); !eq(got, []int{1, 1, 2, 0}) {
+		t.Errorf("least-loaded picks %v", got)
+	}
+	// An ineligible device never wins, however shallow.
+	views = []DeviceView{v(false, 0, 0), v(true, 9, 0)}
+	if p := s.Pick(views, QueryInfo{}); p != 1 {
+		t.Errorf("least-loaded picked %d past an ineligible device", p)
+	}
+}
+
+func TestLatencyWeightedOrder(t *testing.T) {
+	s := NewStrategy(LatencyWeighted, Config{})
+	// Unobserved device 2 scores zero and is probed before the fast one.
+	views := []DeviceView{v(true, 0, 0.9), v(true, 0, 0.1), v(true, 0, 0)}
+	if p := s.Pick(views, QueryInfo{}); p != 2 {
+		t.Errorf("latency-weighted skipped the unobserved device: picked %d", p)
+	}
+	// With all devices observed, expected wait EWMA*(inflight+1) rules:
+	// the fast device absorbs load until its queue outweighs its speed.
+	views = []DeviceView{v(true, 0, 0.9), v(true, 0, 0.1), v(true, 0, 0.4)}
+	got := picks(s, views, make([]QueryInfo, 5))
+	// Scores start 0.9/0.1/0.4: device 1 wins until 0.1*(n+1) exceeds
+	// 0.4 (the 0.4-vs-0.4 tie stays on the lower index).
+	if !eq(got, []int{1, 1, 1, 1, 2}) {
+		t.Errorf("latency-weighted picks %v", got)
+	}
+}
+
+func TestSLOTieredAdmission(t *testing.T) {
+	s := NewStrategy(SLOTiered, Config{ShedStandard: 3, ShedBatch: 1}.withDefaults())
+	views := []DeviceView{v(true, 2, 0), v(true, 1, 0)}
+	// Least-loaded depth is 1: Batch is at its threshold and sheds,
+	// Standard and Interactive are admitted.
+	if p := s.Pick(views, QueryInfo{Class: Batch}); p != -1 {
+		t.Errorf("batch admitted at depth 1 with threshold 1: device %d", p)
+	}
+	if p := s.Pick(views, QueryInfo{Class: Standard}); p != 1 {
+		t.Errorf("standard routed to %d, want least-loaded 1", p)
+	}
+	// Interactive is admitted at any depth while a device is eligible.
+	deep := []DeviceView{v(true, 100, 0)}
+	if p := s.Pick(deep, QueryInfo{Class: Interactive}); p != 0 {
+		t.Errorf("interactive shed at depth 100: pick %d", p)
+	}
+	if p := s.Pick(deep, QueryInfo{Class: Standard}); p != -1 {
+		t.Errorf("standard admitted at depth 100 with threshold 3: device %d", p)
+	}
+}
+
+func TestParseStrategyRoundTrips(t *testing.T) {
+	for _, k := range Strategies() {
+		got, err := ParseStrategy(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseStrategy(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseStrategy("random"); err == nil {
+		t.Error("ParseStrategy accepted an unknown name")
+	}
+}
+
+func TestParseFleet(t *testing.T) {
+	classes, err := ParseFleet("jetson:2, ideapad/mac8:3 ,iphone:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) != 3 || classes[0].Count != 2 || classes[1].MACIntervalCycles != 8 || classes[2].Count != 1 {
+		t.Errorf("ParseFleet = %+v", classes)
+	}
+	for _, bad := range []string{"", "jetson", "vax:3", "jetson:0", "jetson/mac0:2", "jetson:two"} {
+		if _, err := ParseFleet(bad); err == nil {
+			t.Errorf("ParseFleet(%q) accepted", bad)
+		}
+	}
+}
+
+func TestScaleFleet(t *testing.T) {
+	base := []DeviceClass{
+		{Platform: fleetPlatforms["jetson"], Count: 1},
+		{Platform: fleetPlatforms["macbook"], Count: 1},
+		{Platform: fleetPlatforms["ideapad"], Count: 1},
+		{Platform: fleetPlatforms["iphone"], Count: 1},
+	}
+	for _, total := range []int{1, 4, 5, 7, 100, 104} {
+		got := ScaleFleet(base, total)
+		sum := 0
+		for _, c := range got {
+			if c.Count < 1 {
+				t.Errorf("total %d: class scaled below one device: %+v", total, got)
+			}
+			sum += c.Count
+		}
+		want := total
+		if want < len(base) {
+			want = len(base)
+		}
+		if sum != want {
+			t.Errorf("ScaleFleet(total=%d) assigned %d devices: %+v", total, sum, got)
+		}
+	}
+	// Ratio preservation: a 3:1 mix scaled to 8 stays 6:2.
+	mix := []DeviceClass{
+		{Platform: fleetPlatforms["jetson"], Count: 3},
+		{Platform: fleetPlatforms["iphone"], Count: 1},
+	}
+	got := ScaleFleet(mix, 8)
+	if got[0].Count != 6 || got[1].Count != 2 {
+		t.Errorf("ScaleFleet 3:1 to 8 = %d:%d", got[0].Count, got[1].Count)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	ok := Config{Strategy: LeastLoaded, ArrivalRate: 2, Queries: 10}.withDefaults()
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{Strategy: -1, ArrivalRate: 2, Queries: 10},
+		{Strategy: LeastLoaded, ArrivalRate: 0, Queries: 10},
+		{Strategy: LeastLoaded, ArrivalRate: 2, Queries: 0},
+		{Strategy: LeastLoaded, ArrivalRate: 2, Queries: 10, FaultMTBF: 100},
+		{Strategy: LeastLoaded, ArrivalRate: 2, Queries: 10, FaultFraction: 1.5},
+		{Strategy: LeastLoaded, ArrivalRate: 2, Queries: 10, EWMAAlpha: 2},
+		{Strategy: LeastLoaded, ArrivalRate: 2, Queries: 10, QueueCap: -1},
+	}
+	for i, c := range bad {
+		if err := c.withDefaults().Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"time"
 
+	"facil/internal/cluster"
 	"facil/internal/dram"
 	"facil/internal/exp"
 	"facil/internal/obs"
@@ -27,6 +28,8 @@ type Metrics struct {
 	Runs RunCounts `json:"runs"`
 	// Serve is the serving simulator's live counter snapshot.
 	Serve serve.LiveSnapshot `json:"serve"`
+	// Cluster is the fleet router's live counter snapshot.
+	Cluster cluster.LiveSnapshot `json:"cluster"`
 	// DRAM aggregates every DRAM stream replay in the process.
 	DRAM DRAMTotals `json:"dram"`
 	// Trace reports the trace ring's occupancy.
@@ -88,6 +91,7 @@ func (s *Server) Metrics() Metrics {
 	}
 	s.mu.Unlock()
 	m.Serve = serve.Live.Snapshot()
+	m.Cluster = cluster.Live.Snapshot()
 	m.DRAM = DRAMTotals{
 		Streams:  dram.Global.Streams(),
 		Requests: dram.Global.Requests(),

@@ -1,0 +1,220 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+
+	"facil/internal/cluster"
+	"facil/internal/engine"
+	"facil/internal/pim"
+	"facil/internal/serve"
+	"facil/internal/soc"
+	"facil/internal/workload"
+)
+
+// ClusterConfig parameterizes the fleet-scale serving experiment: one
+// heterogeneous device fleet, one arrival stream, and a sweep over
+// balancing strategies — every strategy faces byte-identical arrivals,
+// lengths, priority classes and fault schedules, so the comparison
+// isolates routing.
+type ClusterConfig struct {
+	// Strategies are the balancing strategies swept (table rows).
+	Strategies []cluster.StrategyKind
+	// Fleet is the device-class roster (see cluster.ParseFleet for the
+	// textual form).
+	Fleet []cluster.DeviceClass
+	// Rate is the cluster-wide offered load in queries/second; Queries,
+	// Seed and Workload shape the traffic as in the other serving
+	// sweeps.
+	Rate     float64
+	Queries  int
+	Seed     int64
+	Workload workload.Spec
+	// SyncInterval, QueueCap, DeadlineTTLT, Policy and the breaker/
+	// fault knobs mirror cluster.Config.
+	SyncInterval           float64
+	QueueCap               int
+	DeadlineTTLT           float64
+	Policy                 serve.Policy
+	BreakerThreshold       int
+	BreakerCooldown        float64
+	DeviceBreakerThreshold int
+	FaultMTBF              float64
+	FaultMTTR              float64
+	FaultFraction          float64
+	FaultSeed              int64
+}
+
+// DefaultClusterConfig is the acceptance-scale fleet: 104 devices across
+// the four platforms (26 each, the IdeaPad class carrying a derated PIM
+// stack), 1e5 queries at 26 q/s — a quarter query per device-second —
+// with a fifth of the fleet on a lane-fault diet and router health
+// breakers armed.
+func DefaultClusterConfig() ClusterConfig {
+	return ClusterConfig{
+		Strategies: cluster.Strategies(),
+		Fleet: []cluster.DeviceClass{
+			{Platform: soc.Jetson, Count: 26},
+			{Platform: soc.Macbook, Count: 26},
+			{Platform: soc.IdeaPad, Count: 26, MACIntervalCycles: 8},
+			{Platform: soc.IPhone, Count: 26},
+		},
+		Rate:                   26,
+		Queries:                100000,
+		Seed:                   11,
+		Workload:               workload.AlpacaSpec(),
+		SyncInterval:           5,
+		QueueCap:               16,
+		DeadlineTTLT:           30,
+		Policy:                 serve.PolicySoCFallback,
+		BreakerThreshold:       2,
+		BreakerCooldown:        60,
+		DeviceBreakerThreshold: 3,
+		FaultMTBF:              900,
+		FaultMTTR:              30,
+		FaultFraction:          0.2,
+		FaultSeed:              99,
+	}
+}
+
+// clusterSystem returns (building and caching on first use) the stack
+// for one device class, sharing the lab's per-platform system when the
+// class keeps the default PIM configuration and keying MAC-interval
+// overrides separately.
+func (l *Lab) clusterSystem(c cluster.DeviceClass) (*engine.System, error) {
+	if c.MACIntervalCycles == 0 {
+		return l.System(c.Platform)
+	}
+	key := fmt.Sprintf("%s/mac%d", c.Platform.Name, c.MACIntervalCycles)
+	l.mu.Lock()
+	e, ok := l.systems[key]
+	if !ok {
+		e = &systemEntry{}
+		l.systems[key] = e
+	}
+	l.mu.Unlock()
+	e.once.Do(func() {
+		cfg := l.cfg
+		p := pim.DefaultAiM(c.Platform.Spec.Geometry)
+		p.MACIntervalCycles = c.MACIntervalCycles
+		cfg.PIM = &p
+		e.s, e.err = engine.NewSystem(c.Platform, PlatformModel(c.Platform), cfg)
+	})
+	return e.s, e.err
+}
+
+// clusterConfig lowers one strategy's cell to a cluster.Config.
+func (cfg ClusterConfig) clusterConfig(k cluster.StrategyKind, par int) cluster.Config {
+	return cluster.Config{
+		Strategy:               k,
+		ArrivalRate:            cfg.Rate,
+		Queries:                cfg.Queries,
+		Workload:               cfg.Workload,
+		Seed:                   cfg.Seed,
+		SyncInterval:           cfg.SyncInterval,
+		QueueCap:               cfg.QueueCap,
+		DeadlineTTLT:           cfg.DeadlineTTLT,
+		Policy:                 cfg.Policy,
+		BreakerThreshold:       cfg.BreakerThreshold,
+		BreakerCooldown:        cfg.BreakerCooldown,
+		DeviceBreakerThreshold: cfg.DeviceBreakerThreshold,
+		FaultMTBF:              cfg.FaultMTBF,
+		FaultMTTR:              cfg.FaultMTTR,
+		FaultFraction:          cfg.FaultFraction,
+		FaultSeed:              cfg.FaultSeed,
+		Parallelism:            par,
+	}
+}
+
+// ClusterCompute evaluates every strategy over one shared fleet. The
+// strategies run sequentially — each cluster run already fans its
+// devices out over the lab's worker bound between telemetry barriers —
+// and results are byte-identical at any parallelism (the cluster
+// merge's determinism, not the sweep order, carries the guarantee).
+func (l *Lab) ClusterCompute(ctx context.Context, cfg ClusterConfig) ([]cluster.Metrics, error) {
+	fl, err := cluster.NewFleet(cfg.Fleet, l.clusterSystem)
+	if err != nil {
+		return nil, err
+	}
+	mets := make([]cluster.Metrics, len(cfg.Strategies))
+	for i, k := range cfg.Strategies {
+		m, err := cluster.Run(ctx, fl, cfg.clusterConfig(k, l.par))
+		if err != nil {
+			return nil, err
+		}
+		mets[i] = m
+		if fn := l.progress; fn != nil {
+			fn("cluster", i+1, len(cfg.Strategies))
+		}
+	}
+	return mets, nil
+}
+
+// Cluster renders the fleet-scale routing comparison: a strategy
+// summary table and a per-device-class breakdown.
+func (l *Lab) Cluster(ctx context.Context, cfg ClusterConfig) ([]Table, error) {
+	mets, err := l.ClusterCompute(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	devices := 0
+	for _, c := range cfg.Fleet {
+		devices += c.Count
+	}
+	summary := Table{
+		ID: "cluster",
+		Title: fmt.Sprintf("Extension: fleet-scale heterogeneous serving (%d devices, %s traffic)",
+			devices, cfg.Workload.Name),
+		Header: []string{
+			"strategy", "routed", "shed (i/s/b)", "completed", "rejected", "failed",
+			"degraded", "health opens", "TTFT p50", "TTFT p99", "TTLT p95", "goodput", "makespan",
+		},
+		Notes: []string{
+			fmt.Sprintf("%d queries at %.1f q/s cluster-wide; per-device queue cap %d, TTLT SLO %.0f s, telemetry barrier every %.0f s",
+				cfg.Queries, cfg.Rate, cfg.QueueCap, cfg.DeadlineTTLT, cfg.SyncInterval),
+			fmt.Sprintf("router health breakers: threshold %d, cooldown %.0f s; device policy %s",
+				cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Policy),
+			fmt.Sprintf("faults: %.0f%% of devices draw PIM-lane outages (MTBF %.0f s, MTTR %.0f s, seed %d)",
+				100*cfg.FaultFraction, cfg.FaultMTBF, cfg.FaultMTTR, cfg.FaultSeed),
+			"goodput is the fraction of offered queries completed within the SLO; shed splits by priority class (interactive/standard/batch)",
+			"every strategy faces byte-identical arrivals, lengths, classes and fault schedules",
+		},
+	}
+	classes := Table{
+		ID:     "cluster/classes",
+		Title:  "Fleet breakdown by device class",
+		Header: []string{"strategy", "class", "devices", "routed", "completed", "rejected", "TTFT p50", "TTFT p99", "PIM util", "availability"},
+	}
+	for _, m := range mets {
+		summary.Rows = append(summary.Rows, []string{
+			m.Strategy.String(),
+			fmt.Sprintf("%d", m.Routed),
+			fmt.Sprintf("%d/%d/%d", m.ShedByClass[cluster.Interactive], m.ShedByClass[cluster.Standard], m.ShedByClass[cluster.Batch]),
+			fmt.Sprintf("%d", m.Completed),
+			fmt.Sprintf("%d", m.Rejected),
+			fmt.Sprintf("%d", m.Failed),
+			fmt.Sprintf("%d", m.Degraded),
+			fmt.Sprintf("%d", m.BreakerOpens),
+			ms(m.TTFT.P50),
+			ms(m.TTFT.P99),
+			ms(m.TTLT.P95),
+			pc(float64(m.SLOMet) / float64(m.Queries)),
+			fmt.Sprintf("%.0f s", m.Makespan),
+		})
+		for _, pcm := range m.PerClass {
+			classes.Rows = append(classes.Rows, []string{
+				m.Strategy.String(),
+				pcm.Class,
+				fmt.Sprintf("%d", pcm.Devices),
+				fmt.Sprintf("%d", pcm.Routed),
+				fmt.Sprintf("%d", pcm.Completed),
+				fmt.Sprintf("%d", pcm.Rejected),
+				ms(pcm.TTFT.P50),
+				ms(pcm.TTFT.P99),
+				pc(pcm.PIMUtilization),
+				pc(pcm.Availability),
+			})
+		}
+	}
+	return []Table{summary, classes}, nil
+}

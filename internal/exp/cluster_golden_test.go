@@ -1,0 +1,122 @@
+package exp
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"facil/internal/cluster"
+	"facil/internal/soc"
+)
+
+// goldenClusterConfig keeps the cluster golden cheap: an 8-device
+// heterogeneous fleet (two per platform, the IdeaPad pair on a derated
+// PIM stack), 600 queries, and a hostile-enough fault diet to exercise
+// the router health breakers.
+func goldenClusterConfig() ClusterConfig {
+	cfg := DefaultClusterConfig()
+	cfg.Queries = 600
+	cfg.Rate = 2.4
+	cfg.Fleet = []cluster.DeviceClass{
+		{Platform: soc.Jetson, Count: 2},
+		{Platform: soc.Macbook, Count: 2},
+		{Platform: soc.IdeaPad, Count: 2, MACIntervalCycles: 8},
+		{Platform: soc.IPhone, Count: 2},
+	}
+	cfg.QueueCap = 8
+	cfg.FaultMTBF = 120
+	cfg.FaultMTTR = 20
+	cfg.FaultFraction = 0.5
+	return cfg
+}
+
+// renderCluster concatenates the experiment's tables, the byte string
+// every cluster regression test compares.
+func renderCluster(t *testing.T, l *Lab, cfg ClusterConfig) string {
+	t.Helper()
+	tabs, err := l.Cluster(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, tab := range tabs {
+		b.WriteString(tab.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TestClusterGolden pins the rendered fleet tables on the cheap config.
+func TestClusterGolden(t *testing.T) {
+	checkGolden(t, "cluster_small", renderCluster(t, testLab(), goldenClusterConfig()))
+}
+
+// TestClusterScaleGolden pins the acceptance-scale run: 1e5 queries over
+// the default 104-device heterogeneous fleet, all four strategies.
+func TestClusterScaleGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping fleet-scale golden case in -short mode")
+	}
+	checkGolden(t, "cluster_scale", renderCluster(t, testLab(), DefaultClusterConfig()))
+}
+
+// TestClusterDeterministic is the par1/parN acceptance criterion: the
+// same fleet and seeds render byte-identically when devices advance
+// serially and when they advance on 8 workers (and across repeated
+// runs, so no state leaks between runs of one lab).
+func TestClusterDeterministic(t *testing.T) {
+	cfg := goldenClusterConfig()
+	render := func(par int) string {
+		l := freshLab()
+		l.SetParallelism(par)
+		return renderCluster(t, l, cfg)
+	}
+	serial := render(1)
+	if again := render(1); again != serial {
+		t.Errorf("repeated serial cluster runs differ:\n%s\nvs\n%s", serial, again)
+	}
+	if par := render(8); par != serial {
+		t.Errorf("par 8 cluster run differs from serial:\n%s\nvs\n%s", serial, par)
+	}
+}
+
+// TestClusterAccounting checks the router's conservation identities on
+// every strategy of the cheap config: each arrival is routed or shed,
+// every routed query reaches a device, and every device-side outcome is
+// terminal once the drain completes.
+func TestClusterAccounting(t *testing.T) {
+	mets, err := testLab().ClusterCompute(context.Background(), goldenClusterConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range mets {
+		if m.Routed+m.Shed != m.Queries {
+			t.Errorf("%s: routed %d + shed %d != queries %d", m.Strategy, m.Routed, m.Shed, m.Queries)
+		}
+		if m.Arrived != m.Routed {
+			t.Errorf("%s: device arrivals %d != routed %d", m.Strategy, m.Arrived, m.Routed)
+		}
+		if got := m.Completed + m.Failed + m.TimedOut + m.Rejected; got != m.Arrived {
+			t.Errorf("%s: terminal outcomes %d != arrived %d", m.Strategy, got, m.Arrived)
+		}
+		shed := 0
+		for _, s := range m.ShedByClass {
+			shed += s
+		}
+		if shed != m.Shed {
+			t.Errorf("%s: per-class shed %d != shed %d", m.Strategy, shed, m.Shed)
+		}
+		var routed, completed int
+		for _, pcm := range m.PerClass {
+			routed += pcm.Routed
+			completed += pcm.Completed
+		}
+		if routed != m.Routed || completed != m.Completed {
+			t.Errorf("%s: per-class sums routed %d/completed %d != %d/%d",
+				m.Strategy, routed, completed, m.Routed, m.Completed)
+		}
+		if !m.TTFT.Finite() || !m.TTLT.Finite() {
+			t.Errorf("%s: non-finite latency quantiles %+v %+v", m.Strategy, m.TTFT, m.TTLT)
+		}
+	}
+}

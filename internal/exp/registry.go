@@ -115,6 +115,9 @@ var registry = map[string]runner{
 	"resilience": onectx(func(l *Lab, ctx context.Context) (Table, error) {
 		return l.Resilience(ctx, DefaultResilienceConfig())
 	}),
+	"cluster": func(ctx context.Context, l *Lab) ([]Table, error) {
+		return l.Cluster(ctx, DefaultClusterConfig())
+	},
 	"maxmap": func(ctx context.Context, l *Lab) ([]Table, error) {
 		t, err := MaxMapID()
 		if err != nil {
@@ -161,6 +164,7 @@ var AllIDs = []string{
 	"fig13", "fig14", "fig15", "fig16",
 	"maxmap", "ablations",
 	"cosched", "quant", "pimstyle", "energy", "serving", "serving2", "resilience",
+	"cluster",
 }
 
 // Info describes one registered experiment for listings: the identifier
@@ -197,6 +201,7 @@ var titles = map[string]string{
 	"serving":    "closed-form serving queue (legacy extension)",
 	"serving2":   "event-driven cooperative serving sweep",
 	"resilience": "fault-injection and degradation-policy sweep",
+	"cluster":    "fleet-scale heterogeneous serving with routing strategies",
 }
 
 // Catalog returns every registered experiment in DESIGN.md order with

@@ -227,6 +227,12 @@ func (e *Engine) runOne(ctx context.Context, id string, sc Scenario) ([]exp.Tabl
 			return nil, err
 		}
 		return []exp.Table{t}, nil
+	case "cluster":
+		cfg := exp.DefaultClusterConfig()
+		if err := sc.applyCluster(&cfg); err != nil {
+			return nil, err
+		}
+		return e.lab.Cluster(ctx, cfg)
 	case "fig15", "fig16":
 		if sc.Queries <= 0 && sc.Seed == 0 {
 			return e.lab.Run(ctx, id)

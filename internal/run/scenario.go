@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"strings"
 
+	"facil/internal/cluster"
 	"facil/internal/exp"
 	"facil/internal/serve"
 )
@@ -64,8 +65,25 @@ type Scenario struct {
 	// FaultSeed is resilience's fault-scenario seed (0 = default).
 	FaultSeed int64 `json:"faultseed,omitempty"`
 	// Policy is resilience's comma-separated degradation-policy sweep
-	// ("" = default).
+	// ("" = default). The cluster experiment reads a single policy from
+	// it (a one-entry list) as each device's degradation policy.
 	Policy string `json:"policy,omitempty"`
+	// Strategy is the cluster experiment's comma-separated
+	// balancing-strategy sweep ("" = all four).
+	Strategy string `json:"strategy,omitempty"`
+	// Fleet is the cluster device-class roster as a
+	// "platform[/macN]:count" comma list, e.g. "jetson:26,ideapad/mac8:26"
+	// ("" = experiment default).
+	Fleet string `json:"fleet,omitempty"`
+	// Devices rescales the cluster fleet (default or -fleet) to a total
+	// device count, preserving the class mix (0 = keep the roster's own
+	// counts).
+	Devices int `json:"devices,omitempty"`
+	// Rate is the cluster-wide arrival rate in q/s (0 = default).
+	Rate float64 `json:"rate,omitempty"`
+	// Sync is the cluster telemetry-barrier interval in virtual seconds
+	// (0 = default).
+	Sync float64 `json:"sync,omitempty"`
 }
 
 // DefaultScenario returns the scenario matching facilsim's flag
@@ -161,6 +179,15 @@ func (sc Scenario) Args() []string {
 	str("faults", sc.Faults)
 	num("faultseed", sc.FaultSeed)
 	str("policy", sc.Policy)
+	str("strategy", sc.Strategy)
+	str("fleet", sc.Fleet)
+	num("devices", int64(sc.Devices))
+	if sc.Rate > 0 {
+		args = append(args, "-rate", strconv.FormatFloat(sc.Rate, 'g', -1, 64))
+	}
+	if sc.Sync > 0 {
+		args = append(args, "-sync", strconv.FormatFloat(sc.Sync, 'g', -1, 64))
+	}
 	return args
 }
 
@@ -181,6 +208,10 @@ func (sc Scenario) Validate() error {
 	}
 	rc := exp.DefaultResilienceConfig()
 	if err := sc.applyResilience(&rc); err != nil {
+		return err
+	}
+	cc := exp.DefaultClusterConfig()
+	if err := sc.applyCluster(&cc); err != nil {
 		return err
 	}
 	return nil
@@ -280,6 +311,79 @@ func (sc Scenario) applyResilience(cfg *exp.ResilienceConfig) error {
 			}
 			cfg.Modes = append(cfg.Modes, m)
 		}
+	}
+	return nil
+}
+
+// applyCluster folds the scenario's overrides into a cluster config.
+// The shared fields keep their meaning from the other serving
+// experiments: Queries/Seed/FaultSeed seed the run, QueueCap and SLO
+// bound each device, a single-entry Policy list picks every device's
+// degradation policy, and a single-entry Faults list overrides the
+// lane MTBF on the faulty fraction of the fleet.
+func (sc Scenario) applyCluster(cfg *exp.ClusterConfig) error {
+	if sc.Queries > 0 {
+		cfg.Queries = sc.Queries
+	}
+	if sc.Seed != 0 {
+		cfg.Seed = sc.Seed
+	}
+	if sc.FaultSeed != 0 {
+		cfg.FaultSeed = sc.FaultSeed
+	}
+	if sc.QueueCap >= 0 {
+		cfg.QueueCap = sc.QueueCap
+	}
+	if sc.SLO >= 0 {
+		cfg.DeadlineTTLT = sc.SLO
+	}
+	if sc.Rate > 0 {
+		cfg.Rate = sc.Rate
+	}
+	if sc.Sync > 0 {
+		cfg.SyncInterval = sc.Sync
+	}
+	if sc.Strategy != "" {
+		cfg.Strategies = cfg.Strategies[:0]
+		for _, f := range strings.Split(sc.Strategy, ",") {
+			k, err := cluster.ParseStrategy(strings.TrimSpace(f))
+			if err != nil {
+				return err
+			}
+			cfg.Strategies = append(cfg.Strategies, k)
+		}
+	}
+	if sc.Fleet != "" {
+		classes, err := cluster.ParseFleet(sc.Fleet)
+		if err != nil {
+			return err
+		}
+		cfg.Fleet = classes
+	}
+	if sc.Devices > 0 {
+		cfg.Fleet = cluster.ScaleFleet(cfg.Fleet, sc.Devices)
+	}
+	if sc.Policy != "" {
+		ps := strings.Split(sc.Policy, ",")
+		if len(ps) != 1 {
+			return fmt.Errorf("run: the cluster experiment takes a single -policy, got %q", sc.Policy)
+		}
+		p, err := serve.ParsePolicy(strings.TrimSpace(ps[0]))
+		if err != nil {
+			return err
+		}
+		cfg.Policy = p
+	}
+	if sc.Faults != "" {
+		fs := strings.Split(sc.Faults, ",")
+		if len(fs) != 1 {
+			return fmt.Errorf("run: the cluster experiment takes a single -faults MTBF, got %q", sc.Faults)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(fs[0]), 64)
+		if err != nil || v <= 0 {
+			return fmt.Errorf("run: bad faults entry %q (want a positive MTBF in seconds)", fs[0])
+		}
+		cfg.FaultMTBF = v
 	}
 	return nil
 }

@@ -49,23 +49,6 @@ type faultState struct {
 	residualDown float64
 }
 
-// breaker states of one replica's circuit breaker.
-const (
-	brkClosed = iota
-	brkOpen
-	brkHalfOpen
-)
-
-// breaker is a per-replica circuit breaker over the PIM decode lane:
-// BreakerThreshold consecutive failed dispatches open it; after
-// BreakerCooldown it half-opens and the next dispatch probes the lane —
-// success closes it, failure reopens it.
-type breaker struct {
-	state    int
-	consec   int
-	openedAt float64
-}
-
 // initFaults arms the fault layer for a non-empty scenario: measures
 // the thermal throttle factor on the platform's DRAM spec, seeds the
 // corruption RNG, and schedules the first outage window of every
@@ -191,8 +174,7 @@ func (sm *sim) onLaneUp(ri int) error {
 // targets).
 func (sm *sim) pimLive(ri int) bool {
 	r := &sm.reps[ri]
-	if sm.cfg.BreakerThreshold > 0 && r.brk.state == brkOpen &&
-		sm.now-r.brk.openedAt < sm.brkCooldown {
+	if sm.cfg.BreakerThreshold > 0 && r.brk.Blocked(sm.now, sm.brkCooldown) {
 		return false
 	}
 	return !r.pimDown
@@ -205,30 +187,18 @@ func (sm *sim) pimLive(ri int) bool {
 func (sm *sim) acquirePIM(ri int) bool {
 	r := &sm.reps[ri]
 	threshold := sm.cfg.BreakerThreshold
-	if threshold > 0 && r.brk.state == brkOpen {
-		if sm.now-r.brk.openedAt < sm.brkCooldown {
-			return false
-		}
-		r.brk.state = brkHalfOpen
+	if threshold > 0 && !r.brk.Admit(sm.now, sm.brkCooldown) {
+		return false
 	}
 	if r.pimDown {
-		if threshold > 0 {
-			r.brk.consec++
-			if r.brk.state == brkHalfOpen || r.brk.consec >= threshold {
-				r.brk.state = brkOpen
-				r.brk.openedAt = sm.now
-				sm.m.BreakerOpens++
-				sm.traceFault("breaker-open", ri)
-			}
+		if threshold > 0 && r.brk.Failure(sm.now, threshold) {
+			sm.m.BreakerOpens++
+			sm.traceFault("breaker-open", ri)
 		}
 		return false
 	}
-	if threshold > 0 {
-		if r.brk.state == brkHalfOpen {
-			sm.traceFault("breaker-close", ri)
-		}
-		r.brk.state = brkClosed
-		r.brk.consec = 0
+	if threshold > 0 && r.brk.Success() {
+		sm.traceFault("breaker-close", ri)
 	}
 	return true
 }

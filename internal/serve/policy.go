@@ -53,3 +53,74 @@ func ParsePolicy(s string) (Policy, error) {
 
 // Policies lists the degradation policies in escalation order.
 func Policies() []Policy { return []Policy{PolicyNone, PolicySoCFallback, PolicyFailover} }
+
+// Breaker states: closed admits dispatches, open rejects them until the
+// cooldown elapses, and the first dispatch after the cooldown runs as a
+// half-open probe.
+const (
+	brkClosed = iota
+	brkOpen
+	brkHalfOpen
+)
+
+// Breaker is the circuit breaker shared by every layer of the serving
+// stack: the in-device PIM-lane breaker (one per replica, driven by
+// failed decode dispatches) and the cluster router's per-device health
+// breaker (one per fleet member, driven by barrier-observed failures)
+// run the same state machine. Threshold consecutive Failure calls open
+// it; while open, Admit refuses until the cooldown elapses, then the
+// next Admit half-opens it and the dispatch probes the resource —
+// Success closes it, Failure reopens it immediately.
+//
+// The zero value is a closed breaker, ready for use. Threshold and
+// cooldown are call parameters rather than fields so a fleet of
+// breakers costs three words each and reconfiguring is free.
+type Breaker struct {
+	state    int
+	consec   int
+	openedAt float64
+}
+
+// Blocked reports whether the breaker rejects dispatches at time now,
+// without mutating state — the read-only form of Admit, used to filter
+// candidates (failover targets, routable devices) before committing to
+// one.
+func (b *Breaker) Blocked(now, cooldown float64) bool {
+	return b.state == brkOpen && now-b.openedAt < cooldown
+}
+
+// Admit decides whether a dispatch may proceed at time now: an open
+// breaker inside its cooldown refuses; past the cooldown it transitions
+// to half-open and admits the dispatch as a probe.
+func (b *Breaker) Admit(now, cooldown float64) bool {
+	if b.state == brkOpen {
+		if now-b.openedAt < cooldown {
+			return false
+		}
+		b.state = brkHalfOpen
+	}
+	return true
+}
+
+// Failure records one failed dispatch at time now and reports whether
+// this call opened the breaker: a half-open probe reopens immediately,
+// a closed breaker opens at threshold consecutive failures.
+func (b *Breaker) Failure(now float64, threshold int) bool {
+	b.consec++
+	if b.state == brkHalfOpen || b.consec >= threshold {
+		b.state = brkOpen
+		b.openedAt = now
+		return true
+	}
+	return false
+}
+
+// Success records one successful dispatch, closing the breaker and
+// zeroing the consecutive-failure count; it reports whether the call
+// closed a half-open probe (the recovery transition worth tracing).
+func (b *Breaker) Success() bool {
+	probed := b.state == brkHalfOpen
+	b.state = brkClosed
+	b.consec = 0
+	return probed
+}

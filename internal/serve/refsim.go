@@ -194,7 +194,7 @@ type refReplica struct {
 	pimDown   bool
 	downAt    float64
 	downUntil float64
-	brk       breaker
+	brk       Breaker
 	socQ      []*query
 }
 
@@ -745,8 +745,7 @@ func (sm *refSim) onLaneUp(ri int) error {
 
 func (sm *refSim) pimLive(ri int) bool {
 	r := &sm.reps[ri]
-	if sm.cfg.BreakerThreshold > 0 && r.brk.state == brkOpen &&
-		sm.now-r.brk.openedAt < sm.brkCooldown {
+	if sm.cfg.BreakerThreshold > 0 && r.brk.Blocked(sm.now, sm.brkCooldown) {
 		return false
 	}
 	return !r.pimDown
@@ -755,30 +754,18 @@ func (sm *refSim) pimLive(ri int) bool {
 func (sm *refSim) acquirePIM(ri int) bool {
 	r := &sm.reps[ri]
 	threshold := sm.cfg.BreakerThreshold
-	if threshold > 0 && r.brk.state == brkOpen {
-		if sm.now-r.brk.openedAt < sm.brkCooldown {
-			return false
-		}
-		r.brk.state = brkHalfOpen
+	if threshold > 0 && !r.brk.Admit(sm.now, sm.brkCooldown) {
+		return false
 	}
 	if r.pimDown {
-		if threshold > 0 {
-			r.brk.consec++
-			if r.brk.state == brkHalfOpen || r.brk.consec >= threshold {
-				r.brk.state = brkOpen
-				r.brk.openedAt = sm.now
-				sm.m.BreakerOpens++
-				sm.traceFault("breaker-open", ri)
-			}
+		if threshold > 0 && r.brk.Failure(sm.now, threshold) {
+			sm.m.BreakerOpens++
+			sm.traceFault("breaker-open", ri)
 		}
 		return false
 	}
-	if threshold > 0 {
-		if r.brk.state == brkHalfOpen {
-			sm.traceFault("breaker-close", ri)
-		}
-		r.brk.state = brkClosed
-		r.brk.consec = 0
+	if threshold > 0 && r.brk.Success() {
+		sm.traceFault("breaker-close", ri)
 	}
 	return true
 }

@@ -134,6 +134,21 @@ type SimConfig struct {
 	// (0 = DefaultRetryBase / DefaultRetryCap).
 	RetryBase float64
 	RetryCap  float64
+
+	// Stream marks an externally-driven run: instead of generating
+	// Queries arrivals from Workload at construction, the host feeds
+	// arrivals one at a time with (*Sim).Inject while moving virtual
+	// time forward with (*Sim).AdvanceTo, then calls (*Sim).Seal when
+	// the stream ends. Queries must be 0 and Workload is unused;
+	// ArrivalRate remains required as the expected offered rate (it
+	// sizes the timing wheel's tick). The cluster router drives one
+	// Stream-mode Sim per fleet device.
+	Stream bool
+	// NoTBT drops the per-token inter-token-gap samples (Metrics.TBT
+	// reports zero quantiles). A fleet host running hundreds of devices
+	// over 1e5+ queries sets it to bound sample memory; TTFT and TTLT
+	// are unaffected.
+	NoTBT bool
 }
 
 // DefaultPreemptSteps is the decode quantum when SimConfig leaves it 0.
@@ -147,7 +162,14 @@ func (c SimConfig) Validate() error {
 	if badRate(c.ArrivalRate) {
 		return fmt.Errorf("serve: arrival rate must be positive and finite, got %g", c.ArrivalRate)
 	}
-	if c.Queries <= 0 {
+	if c.Stream {
+		if c.Queries != 0 {
+			return fmt.Errorf("serve: Stream mode takes arrivals from Inject; Queries must be 0, got %d", c.Queries)
+		}
+		if c.MaxRetries > 0 {
+			return fmt.Errorf("serve: Stream mode leaves retry decisions to the host; MaxRetries must be 0")
+		}
+	} else if c.Queries <= 0 {
 		return fmt.Errorf("serve: query count must be positive")
 	}
 	if c.Replicas <= 0 {
@@ -332,7 +354,7 @@ type replica struct {
 	pimDown   bool    // PIM lane currently failed
 	downAt    float64 // start of the current outage
 	downUntil float64 // latest scheduled end of the current outage
-	brk       breaker // circuit breaker over the PIM lane
+	brk       Breaker // circuit breaker over the PIM lane
 	socQ      qlist
 }
 
@@ -371,10 +393,16 @@ type sim struct {
 	lastT    float64 // previous state-change instant for the TimeHists
 
 	// open counts queries not yet terminal (completed, rejected, timed
-	// out or failed); once it reaches zero, pending fault events are
-	// discarded without advancing the clock, so an infinite stochastic
-	// fault stream cannot stretch the makespan.
+	// out or failed); once it reaches zero — and the arrival stream is
+	// sealed — pending fault events are discarded without advancing the
+	// clock, so an infinite stochastic fault stream cannot stretch the
+	// makespan.
 	open int
+	// sealed is true once no further arrivals can appear: at birth for
+	// a generated (non-Stream) run, after Seal for a streamed one. An
+	// unsealed idle sim keeps its fault events pending, because the
+	// host may still inject work they must affect.
+	sealed bool
 
 	// stepMain/stepSoC memoize DecodeStepSeconds by context length for
 	// the configured design and the SoC fallback path (0 = not yet
@@ -512,9 +540,13 @@ func NewSim(s *engine.System, cfg SimConfig) (*Sim, error) {
 	if cfg.PreemptSteps == 0 {
 		cfg.PreemptSteps = DefaultPreemptSteps
 	}
-	ds, err := workload.Generate(cfg.Workload, cfg.Queries, cfg.Seed+1)
-	if err != nil {
-		return nil, err
+	var ds workload.Dataset
+	if !cfg.Stream {
+		var err error
+		ds, err = workload.Generate(cfg.Workload, cfg.Queries, cfg.Seed+1)
+		if err != nil {
+			return nil, err
+		}
 	}
 	sm := &sim{
 		cfg:  cfg,
@@ -534,15 +566,20 @@ func NewSim(s *engine.System, cfg SimConfig) (*Sim, error) {
 		sm.initTrace()
 	}
 	if cfg.Mode == RelayoutHybrid {
-		if sm.relay, err = s.RelayoutAllWeightsSeconds(); err != nil {
+		relay, err := s.RelayoutAllWeightsSeconds()
+		if err != nil {
 			return nil, err
 		}
+		sm.relay = relay
 	}
 	// The arrival process is owned by this run: a fresh RNG consumes
 	// exactly one exponential gap per query, in arrival order, matching
 	// the legacy Simulate clock. Arrivals are not events — the slab,
 	// ordered by arrival time with nextArr as cursor, is the stream; a
-	// query's slab index doubles as its event sequence number.
+	// query's slab index doubles as its event sequence number. A
+	// Stream-mode run starts with an empty, unsealed slab that Inject
+	// appends to (growing the latency caches as longer contexts show
+	// up); everything below degrades to the zero-query shape.
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	var clock float64
 	sm.qs = make([]query, len(ds.Queries))
@@ -564,6 +601,7 @@ func NewSim(s *engine.System, cfg SimConfig) (*Sim, error) {
 	}
 	sm.seq = int64(len(sm.qs))
 	sm.open = cfg.Queries
+	sm.sealed = !cfg.Stream
 	sm.evs.init(wheelTicksPerGap * cfg.ArrivalRate)
 	sm.stepMain = make([]float64, maxCtx+1)
 	sm.stepSoC = make([]float64, maxCtx+1)
@@ -620,6 +658,126 @@ func (s *Sim) Finish() Metrics {
 		Live.runsFinished.Add(1)
 	}
 	return s.sm.finish()
+}
+
+// Inject appends one externally-routed arrival to a Stream-mode run.
+// Arrivals must be time-ordered and never behind the sim's clock: the
+// host advances the sim only up to a horizon at or before the next
+// injection time (the cluster router's telemetry barrier), so both
+// monotonicity checks hold by construction there. The injected query
+// enters the admission path at `at` on the next AdvanceTo that crosses
+// it, subject to QueueCap like any generated arrival.
+func (s *Sim) Inject(at float64, prefill, decode int) error {
+	sm := s.sm
+	if !sm.cfg.Stream {
+		return fmt.Errorf("serve: Inject requires a Stream-mode sim")
+	}
+	if sm.sealed {
+		return fmt.Errorf("serve: Inject after Seal")
+	}
+	if prefill <= 0 || decode <= 0 {
+		return fmt.Errorf("serve: Inject token counts must be positive, got prefill=%d decode=%d", prefill, decode)
+	}
+	if math.IsNaN(at) || math.IsInf(at, 0) || at < sm.now {
+		return fmt.Errorf("serve: Inject at %g behind the clock %g", at, sm.now)
+	}
+	if n := len(sm.qs); n > 0 && at < sm.qs[n-1].arrival {
+		return fmt.Errorf("serve: Inject arrivals must be time-ordered (%g after %g)", at, sm.qs[n-1].arrival)
+	}
+	qi := len(sm.qs)
+	sm.qs = append(sm.qs, query{id: qi, arrival: at, prefill: prefill, decode: decode, next: -1})
+	sm.open++
+	if c := prefill + decode + 1; c > len(sm.stepMain) {
+		sm.stepMain = growCache(sm.stepMain, c)
+		sm.stepSoC = growCache(sm.stepSoC, c)
+	}
+	if prefill+1 > len(sm.preStatic) {
+		sm.preStatic = growCache(sm.preStatic, prefill+1)
+	}
+	return nil
+}
+
+// growCache resizes a flat latency-memo array, keeping cached entries.
+func growCache(c []float64, n int) []float64 {
+	out := make([]float64, n)
+	copy(out, c)
+	return out
+}
+
+// Seal marks a Stream-mode arrival stream complete: no further Inject
+// calls are accepted, and once every injected query is terminal the
+// remaining stochastic fault events are discarded without advancing the
+// clock — the same end-of-run rule a generated arrival stream gets at
+// construction. Seal is idempotent and a no-op on non-Stream sims
+// (they are born sealed).
+func (s *Sim) Seal() { s.sm.sealed = true }
+
+// AdvanceTo processes every pending event strictly before t, in event
+// order, leaving the clock on the last processed event (not at t —
+// virtual time only ever sits on events). Events at exactly t stay
+// pending for the next call, so advancing to a barrier then injecting
+// arrivals at or after the barrier is race-free. AdvanceTo(math.Inf(1))
+// drains the run; on error the simulation is poisoned, as with Step.
+func (s *Sim) AdvanceTo(t float64) error {
+	for {
+		more, err := s.sm.stepUntil(t)
+		if err != nil {
+			return err
+		}
+		if !more {
+			return nil
+		}
+	}
+}
+
+// Probe is a point-in-time, allocation-free view of a running sim's
+// counters — the per-device health signal a fleet router reads at each
+// telemetry barrier. All counts are cumulative since construction;
+// deltas between probes are the barrier-interval signal.
+type Probe struct {
+	// Now is the sim's virtual clock (the last processed event).
+	Now float64
+	// InSystem is the current admitted-but-unfinished query count — the
+	// live queue-depth signal behind least-loaded routing.
+	InSystem int
+	// Arrived, Admitted and Rejected mirror the Metrics admission
+	// identities (Arrived = Admitted + Rejected for terminal queries).
+	Arrived, Admitted, Rejected int
+	// Completed, TimedOut and Failed are the terminal outcomes so far.
+	Completed, TimedOut, Failed int
+	// Degraded, FailedOver and BreakerOpens count the in-device
+	// degradation machinery's activity.
+	Degraded, FailedOver, BreakerOpens int
+}
+
+// Probe snapshots the sim's live counters. It must not race with Step
+// or AdvanceTo on another goroutine (the cluster router probes between
+// barriers, when the device is quiescent).
+func (s *Sim) Probe() Probe {
+	sm := s.sm
+	return Probe{
+		Now:          sm.now,
+		InSystem:     sm.inSystem,
+		Arrived:      sm.m.Arrived,
+		Admitted:     sm.m.Admitted,
+		Rejected:     sm.m.Rejected,
+		Completed:    sm.m.Completed,
+		TimedOut:     sm.m.TimedOut,
+		Failed:       sm.m.Failed,
+		Degraded:     sm.m.Degraded,
+		FailedOver:   sm.m.FailedOver,
+		BreakerOpens: sm.m.BreakerOpens,
+	}
+}
+
+// Latencies exposes the raw per-query samples collected so far: TTFT
+// (one per prefill completion) and TTLT (one per completion), both in
+// completion order. The slices alias the sim's sample buffers — callers
+// must treat them as read-only and re-fetch after advancing further
+// (appends may reallocate). The cluster router tails TTFT for its
+// latency-weighted EWMA.
+func (s *Sim) Latencies() (ttft, ttlt []float64) {
+	return s.sm.ttfts, s.sm.ttlts
 }
 
 // push schedules a dynamic event with the next tie-break sequence
@@ -689,31 +847,52 @@ func (sm *sim) advance(t float64) {
 	sm.now = t
 }
 
-// step merges the arrival cursor against the timing wheel, pops the
-// earlier of the two, handles it, and reports whether events remain.
-// Arrivals always carry lower sequence numbers than wheel events, so on
-// an exact (at) tie the arrival goes first — the reference heap's order.
-// Once every query is terminal, remaining fault events are discarded
-// without advancing the clock: the makespan (and the time-weighted
-// histograms) end at the last query event, not at whatever outage the
-// infinite stochastic stream scheduled next.
+// step processes the next pending event with no horizon — the whole-run
+// event loop. The merge logic lives in stepUntil; at an infinite horizon
+// the limit reduces to the bare arrival cursor, so this is bit-identical
+// to the pre-horizon loop.
 func (sm *sim) step() (bool, error) {
+	return sm.stepUntil(math.Inf(1))
+}
+
+// stepUntil merges the arrival cursor against the timing wheel, pops the
+// earlier of the two if it lies strictly before horizon, handles it, and
+// reports whether an event was processed. Arrivals always carry lower
+// sequence numbers than wheel events, so on an exact (at) tie the
+// arrival goes first — the reference heap's order. Events at or past the
+// horizon stay pending and the clock does not reach the horizon: the
+// clock only ever sits on a processed event, which is what makes
+// fixed-horizon advancement composable with Inject (a later injection
+// at t < horizon is still in this sim's future).
+//
+// Once every query is terminal in a sealed run, remaining fault events
+// are discarded without advancing the clock: the makespan (and the
+// time-weighted histograms) end at the last query event, not at whatever
+// outage the infinite stochastic stream scheduled next.
+func (sm *sim) stepUntil(horizon float64) (bool, error) {
 	for {
 		hasArr := int(sm.nextArr) < len(sm.qs)
 		var limAt float64
 		var limTick int64
-		if hasArr {
+		hasLim, arrLim := false, false
+		if hasArr && sm.qs[sm.nextArr].arrival < horizon {
 			limAt = sm.qs[sm.nextArr].arrival
+			hasLim, arrLim = true, true
+		} else if !math.IsInf(horizon, 1) {
+			limAt = horizon
+			hasLim = true
+		}
+		if hasLim {
 			limTick = sm.evs.tickOf(limAt)
 		}
-		idx, arrFirst := sm.evs.pop(hasArr, limAt, limTick)
+		idx, limFirst := sm.evs.pop(hasLim, limAt, limTick)
 		if idx >= 0 {
 			// Copy the event out and retire its slot before handling:
 			// everything the handler schedules allocates fresh slots, so
 			// no callback can alias a recycled event.
 			ev := sm.evs.arena.slab[idx]
 			sm.evs.arena.release(idx)
-			if (ev.kind == evLaneDown || ev.kind == evLaneUp) && sm.open == 0 {
+			if (ev.kind == evLaneDown || ev.kind == evLaneUp) && sm.open == 0 && sm.sealed {
 				continue
 			}
 			sm.advance(ev.at)
@@ -733,7 +912,7 @@ func (sm *sim) step() (bool, error) {
 			}
 			return true, err
 		}
-		if arrFirst {
+		if limFirst && arrLim {
 			qi := sm.nextArr
 			sm.nextArr++
 			sm.advance(sm.qs[qi].arrival)
@@ -961,7 +1140,9 @@ func (sm *sim) emitTokens(q *query, start float64, steps int, kind engine.Kind, 
 			return err
 		}
 		t += st * factor
-		sm.tbts = append(sm.tbts, t-q.prevToken)
+		if !sm.cfg.NoTBT {
+			sm.tbts = append(sm.tbts, t-q.prevToken)
+		}
 		q.prevToken = t
 	}
 	q.stepsDone += steps
