@@ -14,8 +14,11 @@
 //
 // SIGTERM/SIGINT drain gracefully: admission closes (503 on POST),
 // queued runs are canceled, the in-flight run completes and flushes its
-// manifest/exports, then the process exits 0. See DESIGN.md §11 and
-// EXPERIMENTS.md for curl examples.
+// manifest/exports, then the process exits 0. With -drainoutage N the
+// drain doubles as a fault drill: a simulated N-virtual-second PIM-lane
+// outage is injected into the in-flight run's sims, so every graceful
+// stop exercises the degradation machinery and logs the outcome
+// counters. See DESIGN.md §11 and EXPERIMENTS.md for curl examples.
 package main
 
 import (
@@ -32,6 +35,7 @@ import (
 
 	"facil/internal/daemon"
 	"facil/internal/obs"
+	"facil/internal/serve"
 )
 
 func main() {
@@ -44,6 +48,7 @@ func mainErr() int {
 	par := flag.Int("par", 0, "max concurrent sweep workers per run (0 = GOMAXPROCS)")
 	traceBuf := flag.Int("tracebuf", obs.DefaultCapacity, "trace ring-buffer capacity in events")
 	outDir := flag.String("o", "", "mirror each run's result files plus manifest.json into DIR/<run-id>/")
+	drainOutage := flag.Float64("drainoutage", 0, "inject a simulated PIM-lane outage of this many virtual seconds into the in-flight run when draining (0 = off)")
 	version := flag.Bool("version", false, "print the module version and build info, then exit")
 	flag.Parse()
 
@@ -59,6 +64,7 @@ func mainErr() int {
 		Parallelism: *par,
 		TraceBuf:    *traceBuf,
 		OutDir:      *outDir,
+		DrainOutage: *drainOutage,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -78,9 +84,21 @@ func mainErr() int {
 	}
 
 	// Graceful drain: close admission, let the in-flight run complete
-	// and flush its exports, then shut the listener down.
-	log.Printf("signal received, draining")
+	// and flush its exports, then shut the listener down. With
+	// -drainoutage the drain doubles as a fault drill — the in-flight
+	// run finishes through the degradation machinery, and the outcome
+	// counters are logged for the drill record.
+	if *drainOutage > 0 {
+		log.Printf("signal received, draining (injecting %.0fs lane outage)", *drainOutage)
+	} else {
+		log.Printf("signal received, draining")
+	}
 	srv.Drain()
+	if *drainOutage > 0 {
+		snap := serve.Live.Snapshot()
+		log.Printf("drain drill: %d failed, %d degraded, %d failovers across process lifetime",
+			snap.Failed, snap.Degraded, snap.FailedOver)
+	}
 	srv.Close()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"facil/internal/cluster"
+	"facil/internal/engine"
+	"facil/internal/llm"
+	"facil/internal/serve"
+	"facil/internal/soc"
+	"facil/internal/workload"
+)
+
+// clusterBenchReport is the schema of BENCH_cluster.json — the committed
+// perf baseline for the cluster barrier/steal path, next to
+// BENCH_dram.json and BENCH_serve.json. Regenerate with scripts/bench.sh
+// (or `go run ./cmd/facilsim -benchcluster`) on an otherwise idle
+// machine.
+type clusterBenchReport struct {
+	GeneratedBy string `json:"generated_by"`
+	GoVersion   string `json:"go_version"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+
+	// Full-run cost of the cluster router (fleet construction excluded,
+	// one serial run over the benchmark fleet) per routed query, without
+	// and with the barrier re-route (steal) phase, plus the queries the
+	// router pushes through per wall-clock second in each mode.
+	NsPerQuery         float64 `json:"ns_per_query"`
+	QueriesPerSec      float64 `json:"queries_per_sec"`
+	StealNsPerQuery    float64 `json:"steal_ns_per_query"`
+	StealQueriesPerSec float64 `json:"steal_queries_per_sec"`
+	// StealOverhead is steal_ns_per_query / ns_per_query — the full-run
+	// price of the migration machinery on a fleet that actually steals.
+	StealOverhead float64 `json:"steal_overhead"`
+}
+
+// clusterBenchConfig is a small faulted fleet under enough load that the
+// steal path does real work (round-robin piles depth onto the slow
+// devices, so the re-route phase migrates continuously rather than
+// no-oping).
+func clusterBenchConfig(steal bool) cluster.Config {
+	return cluster.Config{
+		Strategy:               cluster.RoundRobin,
+		ArrivalRate:            4,
+		Queries:                2000,
+		Workload:               workload.AlpacaSpec(),
+		Seed:                   7,
+		SyncInterval:           5,
+		QueueCap:               8,
+		DeadlineTTLT:           30,
+		Policy:                 serve.PolicySoCFallback,
+		BreakerThreshold:       2,
+		BreakerCooldown:        60,
+		DeviceBreakerThreshold: 3,
+		FaultMTBF:              120,
+		FaultMTTR:              20,
+		FaultFraction:          0.5,
+		FaultSeed:              99,
+		Steal:                  steal,
+		StealThreshold:         6,
+		Parallelism:            1,
+	}
+}
+
+// runClusterBench executes the cluster benchmarks in-process and writes
+// the JSON report to stdout.
+func runClusterBench() int {
+	fail := func(err error) int {
+		fmt.Fprintf(os.Stderr, "facilsim: -benchcluster: %v\n", err)
+		return 1
+	}
+	fl, err := cluster.NewFleet([]cluster.DeviceClass{
+		{Platform: soc.Jetson, Count: 2},
+		{Platform: soc.Macbook, Count: 2},
+		{Platform: soc.IPhone, Count: 4},
+	}, func(c cluster.DeviceClass) (*engine.System, error) {
+		m := llm.Llama3_8B()
+		if c.Platform.Name == soc.IPhone.Name {
+			m = llm.Phi1_5()
+		}
+		return engine.NewSystem(c.Platform, m, engine.DefaultConfig())
+	})
+	if err != nil {
+		return fail(err)
+	}
+
+	rep := clusterBenchReport{
+		GeneratedBy: "go run ./cmd/facilsim -benchcluster (see scripts/bench.sh)",
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+
+	bench := func(steal bool) (float64, error) {
+		cfg := clusterBenchConfig(steal)
+		// One warm run so shared latency caches don't bill the first
+		// iteration.
+		if _, err := cluster.Run(context.Background(), fl, cfg); err != nil {
+			return 0, err
+		}
+		var runErr error
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cluster.Run(context.Background(), fl, cfg); err != nil {
+					runErr = err
+					return
+				}
+			}
+		})
+		if runErr != nil {
+			return 0, runErr
+		}
+		return float64(res.NsPerOp()) / float64(cfg.Queries), nil
+	}
+
+	if rep.NsPerQuery, err = bench(false); err != nil {
+		return fail(err)
+	}
+	rep.QueriesPerSec = 1e9 / rep.NsPerQuery
+	if rep.StealNsPerQuery, err = bench(true); err != nil {
+		return fail(err)
+	}
+	rep.StealQueriesPerSec = 1e9 / rep.StealNsPerQuery
+	if rep.NsPerQuery > 0 {
+		rep.StealOverhead = rep.StealNsPerQuery / rep.NsPerQuery
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return fail(err)
+	}
+	return 0
+}

@@ -50,9 +50,12 @@
 // balancing strategies: round-robin, least-loaded, latency-weighted,
 // slo-tiered), -fleet (a platform[/macN]:count comma list, e.g.
 // "jetson:26,ideapad/mac8:26"), -devices (rescale the fleet preserving
-// its mix), -rate (cluster-wide q/s) and -sync (telemetry-barrier
-// interval in virtual seconds); -queries, -seed, -queuecap, -slo,
-// -faultseed, a single -policy and a single -faults MTBF apply
+// its mix), -rate (cluster-wide q/s), -sync (telemetry-barrier
+// interval in virtual seconds), -steal (pair every strategy row with a
+// cross-device migration "+steal" row) and -stealthreshold (the
+// in-system depth that triggers stealing from a healthy device;
+// 0 = breaker-driven evacuation only); -queries, -seed, -queuecap,
+// -slo, -faultseed, a single -policy and a single -faults MTBF apply
 // per device.
 //
 // -par N bounds the worker pool: independent experiment identifiers run
@@ -66,8 +69,11 @@
 // inspection of long sweeps.
 //
 // -bench runs the DRAM scheduler perf baseline (micro-benchmarks plus
-// fig6/tab1 wall times) and prints BENCH_dram.json to stdout; see
-// scripts/bench.sh. -version prints the module version and build info.
+// fig6/tab1 wall times) and prints BENCH_dram.json to stdout;
+// -benchserve and -benchcluster do the same for the serving loop
+// (BENCH_serve.json) and the cluster barrier/steal path
+// (BENCH_cluster.json); see scripts/bench.sh. -version prints the
+// module version and build info.
 //
 // A failing experiment does not abort the run: remaining identifiers
 // still execute, the failures are summarized on stderr at the end
@@ -131,8 +137,11 @@ func mainErr() int {
 	devices := flag.Int("devices", 0, "cluster: rescale the fleet to this many devices, preserving the class mix (0 = keep roster counts)")
 	rate := flag.Float64("rate", 0, "cluster: cluster-wide arrival rate in q/s (0 = default)")
 	sync_ := flag.Float64("sync", 0, "cluster: telemetry-barrier interval in virtual seconds (0 = default)")
+	steal := flag.Bool("steal", true, "cluster: add cross-device migration (+steal) rows to the strategy sweep")
+	stealThreshold := flag.Int("stealthreshold", -1, "cluster: in-system depth that triggers stealing from a healthy device (0 = breaker-driven only, -1 = default)")
 	bench := flag.Bool("bench", false, "run the DRAM scheduler perf baseline and print BENCH_dram.json to stdout")
 	benchServe := flag.Bool("benchserve", false, "run the serving-loop perf baseline and print BENCH_serve.json to stdout")
+	benchCluster := flag.Bool("benchcluster", false, "run the cluster barrier/steal perf baseline and print BENCH_cluster.json to stdout")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -209,6 +218,9 @@ func mainErr() int {
 	if *benchServe {
 		return runServeBench()
 	}
+	if *benchCluster {
+		return runClusterBench()
+	}
 
 	// Assemble the scenario: a replayed file forms the base, explicit
 	// flags override its fields, and positional/-id identifiers replace
@@ -270,6 +282,15 @@ func mainErr() int {
 	}
 	if set["sync"] {
 		sc.Sync = *sync_
+	}
+	if set["steal"] {
+		sc.Steal = 0
+		if *steal {
+			sc.Steal = 1
+		}
+	}
+	if set["stealthreshold"] {
+		sc.StealThreshold = *stealThreshold
 	}
 	ids := flag.Args()
 	for _, id := range strings.Split(*idList, ",") {

@@ -300,6 +300,31 @@ type Config struct {
 	// PIM-lane breaker (0 disables it; router health breakers are
 	// independent).
 	DeviceBreakerThreshold int
+	// Steal enables cross-device query migration: a serial re-route
+	// phase after each barrier's collect retracts queued work from
+	// devices whose health breaker is open (admission-queued first,
+	// then prefilled queries) or whose in-system depth reaches
+	// StealThreshold (admission-queued only) and re-injects it on the
+	// least-loaded eligible device with room. Prefilled queries are
+	// charged MigrationPenalty at the destination — the KV-cache
+	// transfer and re-layout into the adopting device's mapping —
+	// while unstarted queries move free.
+	Steal bool
+	// StealThreshold is the in-system depth at and above which a
+	// healthy device's admission queue is stolen from (0 disables
+	// depth-based stealing; breaker-open evacuation still runs
+	// whenever Steal is set and BreakerThreshold > 0).
+	StealThreshold int
+	// MigrationPenalty is the per-query cross-device handoff cost in
+	// seconds charged when a prefilled query resumes elsewhere
+	// (0 = DefaultMigrationPenalty).
+	MigrationPenalty float64
+	// ProbeQuota caps the queries routed or stolen to a device whose
+	// health breaker is half-open, per barrier interval, until a
+	// probe outcome is observed (0 = DefaultProbeQuota): recovered
+	// devices re-earn traffic gradually instead of being slammed the
+	// moment their cooldown expires.
+	ProbeQuota int
 	// Parallelism caps the workers advancing devices between barriers
 	// (0 = GOMAXPROCS). It cannot change results, only wall-clock.
 	Parallelism int
@@ -307,6 +332,17 @@ type Config struct {
 
 // DefaultEWMAAlpha is the TTFT EWMA weight when Config leaves it 0.
 const DefaultEWMAAlpha = 0.2
+
+// DefaultMigrationPenalty is the cross-device handoff cost in seconds
+// when Config leaves MigrationPenalty 0: moving a prefilled query's KV
+// cache off-device and re-laying it into the destination's mapping —
+// an order of magnitude above serve.DefaultFailoverPenalty, which only
+// crosses replicas inside one device.
+const DefaultMigrationPenalty = 0.25
+
+// DefaultProbeQuota is the per-barrier half-open traffic cap when
+// Config leaves ProbeQuota 0.
+const DefaultProbeQuota = 1
 
 // withDefaults resolves the zero-value knobs.
 func (c Config) withDefaults() Config {
@@ -325,6 +361,12 @@ func (c Config) withDefaults() Config {
 	if c.ShedBatch == 0 {
 		c.ShedBatch = DefaultShedBatch
 	}
+	if c.MigrationPenalty == 0 {
+		c.MigrationPenalty = DefaultMigrationPenalty
+	}
+	if c.ProbeQuota == 0 {
+		c.ProbeQuota = DefaultProbeQuota
+	}
 	return c
 }
 
@@ -340,11 +382,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cluster: query count must be positive")
 	}
 	for name, v := range map[string]float64{
-		"SyncInterval":    c.SyncInterval,
-		"DeadlineTTLT":    c.DeadlineTTLT,
-		"BreakerCooldown": c.BreakerCooldown,
-		"FaultMTBF":       c.FaultMTBF,
-		"FaultMTTR":       c.FaultMTTR,
+		"SyncInterval":     c.SyncInterval,
+		"DeadlineTTLT":     c.DeadlineTTLT,
+		"BreakerCooldown":  c.BreakerCooldown,
+		"FaultMTBF":        c.FaultMTBF,
+		"FaultMTTR":        c.FaultMTTR,
+		"MigrationPenalty": c.MigrationPenalty,
 	} {
 		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
 			return fmt.Errorf("cluster: %s must be a finite non-negative duration, got %g", name, v)
@@ -353,7 +396,7 @@ func (c Config) Validate() error {
 	if c.SyncInterval <= 0 {
 		return fmt.Errorf("cluster: SyncInterval must be positive, got %g", c.SyncInterval)
 	}
-	if c.QueueCap < 0 || c.BreakerThreshold < 0 || c.DeviceBreakerThreshold < 0 || c.ShedStandard < 0 || c.ShedBatch < 0 {
+	if c.QueueCap < 0 || c.BreakerThreshold < 0 || c.DeviceBreakerThreshold < 0 || c.ShedStandard < 0 || c.ShedBatch < 0 || c.StealThreshold < 0 || c.ProbeQuota < 0 {
 		return fmt.Errorf("cluster: negative limit in %+v", c)
 	}
 	if math.IsNaN(c.EWMAAlpha) || c.EWMAAlpha <= 0 || c.EWMAAlpha > 1 {
@@ -400,13 +443,27 @@ type Metrics struct {
 	Routed, Shed int
 	ShedByClass  [NumClasses]int
 
-	// Device-side accounting over routed queries: Routed == Arrived and
-	// Arrived == Completed + Failed + TimedOut + Rejected once drained.
+	// Device-side accounting over routed queries: every migration
+	// re-counts its query as Arrived at the destination, so once
+	// drained Arrived == Routed + Stolen while the terminal identity
+	// Completed + Failed + TimedOut + Rejected == Routed counts each
+	// query exactly once (without stealing both reduce to
+	// Arrived == Routed).
 	Arrived, Completed, Failed, TimedOut, Rejected int
 	// Degraded, FailedOver and DeviceBreakerOpens sum the in-device
 	// degradation machinery; BreakerOpens counts router-side health
 	// breaker opens.
 	Degraded, FailedOver, DeviceBreakerOpens, BreakerOpens int
+
+	// Steal echoes Config.Steal. Stolen counts queries migrated between
+	// devices at barrier re-route phases; StolenPrefilled is the subset
+	// that had already finished prefill (each charged MigrationPenalty
+	// at its destination). Retracted sums the device-side retraction
+	// counters and always equals Stolen — kept separate as a
+	// conservation cross-check.
+	Steal                   bool
+	Stolen, StolenPrefilled int
+	Retracted               int
 
 	// Barriers is the number of telemetry barriers the run crossed.
 	Barriers int

@@ -78,16 +78,19 @@ func testFleet(t testing.TB, mask uint8) *Fleet {
 }
 
 // FuzzCluster drives a tiny heterogeneous cluster through arbitrary
-// (strategy, fleet-mix, fault, load) corners and checks the two
+// (strategy, fleet-mix, fault, load, steal) corners and checks the two
 // properties every configuration must keep: the run's conservation
-// identities hold, and a 4-worker run reproduces the serial run
-// exactly.
+// identities hold — including the migration flow when stealing is
+// enabled — and a 4-worker run reproduces the serial run exactly.
 func FuzzCluster(f *testing.F) {
-	f.Add(uint8(0), uint8(0x0F), uint8(0), uint8(40))
-	f.Add(uint8(1), uint8(0x03), uint8(7), uint8(60))
-	f.Add(uint8(2), uint8(0x05), uint8(255), uint8(25))
-	f.Add(uint8(3), uint8(0x0A), uint8(128), uint8(50))
-	f.Fuzz(func(t *testing.T, stratB, fleetB, faultB, loadB uint8) {
+	f.Add(uint8(0), uint8(0x0F), uint8(0), uint8(40), uint8(0))
+	f.Add(uint8(1), uint8(0x03), uint8(7), uint8(60), uint8(0))
+	f.Add(uint8(2), uint8(0x05), uint8(255), uint8(25), uint8(0))
+	f.Add(uint8(3), uint8(0x0A), uint8(128), uint8(50), uint8(0))
+	f.Add(uint8(1), uint8(0x0F), uint8(255), uint8(60), uint8(0x81)) // steal + faults, threshold 1
+	f.Add(uint8(0), uint8(0x03), uint8(130), uint8(44), uint8(0x84)) // steal + faults, threshold 4
+	f.Add(uint8(3), uint8(0x05), uint8(0), uint8(70), uint8(0x82))   // steal, no faults (depth only)
+	f.Fuzz(func(t *testing.T, stratB, fleetB, faultB, loadB, stealB uint8) {
 		fl := testFleet(t, fleetB)
 		cfg := Config{
 			Strategy:     StrategyKind(int(stratB) % len(Strategies())),
@@ -109,6 +112,11 @@ func FuzzCluster(f *testing.F) {
 			cfg.BreakerCooldown = 30
 			cfg.DeviceBreakerThreshold = int(faultB) % 4
 		}
+		if stealB&0x80 != 0 {
+			cfg.Steal = true
+			cfg.StealThreshold = int(stealB) % 8 // 0 = breaker-driven only
+			cfg.ProbeQuota = 1 + int(stealB>>3)%4
+		}
 		run := func(par int) Metrics {
 			c := cfg
 			c.Parallelism = par
@@ -122,11 +130,17 @@ func FuzzCluster(f *testing.F) {
 		if serial.Routed+serial.Shed != serial.Queries {
 			t.Errorf("routed %d + shed %d != queries %d", serial.Routed, serial.Shed, serial.Queries)
 		}
-		if serial.Arrived != serial.Routed {
-			t.Errorf("arrived %d != routed %d", serial.Arrived, serial.Routed)
+		if serial.Arrived != serial.Routed+serial.Stolen {
+			t.Errorf("arrived %d != routed %d + stolen %d", serial.Arrived, serial.Routed, serial.Stolen)
 		}
-		if got := serial.Completed + serial.Failed + serial.TimedOut + serial.Rejected; got != serial.Arrived {
-			t.Errorf("terminal %d != arrived %d", got, serial.Arrived)
+		if serial.Retracted != serial.Stolen {
+			t.Errorf("retracted %d != stolen %d", serial.Retracted, serial.Stolen)
+		}
+		if !cfg.Steal && serial.Stolen != 0 {
+			t.Errorf("stolen %d without stealing enabled", serial.Stolen)
+		}
+		if got := serial.Completed + serial.Failed + serial.TimedOut + serial.Rejected; got != serial.Routed {
+			t.Errorf("terminal %d != routed %d", got, serial.Routed)
 		}
 		if par := run(4); !reflect.DeepEqual(serial, par) {
 			t.Errorf("par 4 metrics diverge from serial:\n%+v\nvs\n%+v", serial, par)

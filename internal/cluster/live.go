@@ -16,10 +16,12 @@ type LiveStats struct {
 	runsStarted  atomic.Int64
 	runsFinished atomic.Int64
 
-	routed       atomic.Int64
-	shed         atomic.Int64
-	barriers     atomic.Int64
-	breakerOpens atomic.Int64
+	routed          atomic.Int64
+	shed            atomic.Int64
+	barriers        atomic.Int64
+	breakerOpens    atomic.Int64
+	stolen          atomic.Int64
+	stolenPrefilled atomic.Int64
 }
 
 // Live aggregates every cluster run in the process.
@@ -36,6 +38,10 @@ func (l *LiveStats) Routed() int64 { return l.routed.Load() }
 
 // Shed returns the total arrivals dropped at the router.
 func (l *LiveStats) Shed() int64 { return l.shed.Load() }
+
+// Stolen returns the total queries migrated between devices at barrier
+// re-route phases.
+func (l *LiveStats) Stolen() int64 { return l.stolen.Load() }
 
 // LiveSnapshot is one point-in-time copy of the cluster counters,
 // shaped for JSON export inside the facild /metrics payload. Fields are
@@ -57,16 +63,24 @@ type LiveSnapshot struct {
 	Barriers int64 `json:"barriers"`
 	// BreakerOpens counts router-side device health-breaker opens.
 	BreakerOpens int64 `json:"breaker_opens"`
+	// Stolen counts queries migrated between devices at barrier
+	// re-route phases; StolenPrefilled is the subset that moved with a
+	// finished prefill (and paid the KV handoff penalty).
+	Stolen int64 `json:"stolen"`
+	// StolenPrefilled counts migrations of prefilled queries.
+	StolenPrefilled int64 `json:"stolen_prefilled"`
 }
 
 // Snapshot reads every counter atomically and returns the copy.
 func (l *LiveStats) Snapshot() LiveSnapshot {
 	return LiveSnapshot{
-		RunsStarted:  l.runsStarted.Load(),
-		RunsFinished: l.runsFinished.Load(),
-		Routed:       l.routed.Load(),
-		Shed:         l.shed.Load(),
-		Barriers:     l.barriers.Load(),
-		BreakerOpens: l.breakerOpens.Load(),
+		RunsStarted:     l.runsStarted.Load(),
+		RunsFinished:    l.runsFinished.Load(),
+		Routed:          l.routed.Load(),
+		Shed:            l.shed.Load(),
+		Barriers:        l.barriers.Load(),
+		BreakerOpens:    l.breakerOpens.Load(),
+		Stolen:          l.stolen.Load(),
+		StolenPrefilled: l.stolenPrefilled.Load(),
 	}
 }

@@ -26,6 +26,11 @@ type device struct {
 	brk      serve.Breaker
 	inflight int
 	routed   int
+	// probes counts queries routed or stolen to this device while its
+	// breaker is half-open, within the current barrier interval; the
+	// probation quota caps it so a recovering device re-earns traffic
+	// gradually (collect resets it every barrier).
+	probes   int
 	ewma     float64
 	ttftSeen int
 	last     serve.Probe
@@ -119,8 +124,22 @@ func Run(ctx context.Context, fl *Fleet, cfg Config) (Metrics, error) {
 		idxs[i] = i
 	}
 
-	m := Metrics{Strategy: cfg.Strategy, Devices: n, Queries: cfg.Queries}
+	m := Metrics{Strategy: cfg.Strategy, Devices: n, Queries: cfg.Queries, Steal: cfg.Steal}
 	Live.runsStarted.Add(1)
+
+	// eligible is the router's routing/stealing admission predicate: a
+	// device is out while its health breaker blocks it, and a half-open
+	// device stops receiving once its probation quota for the current
+	// barrier interval is spent.
+	eligible := func(d *device, at float64) bool {
+		if cfg.BreakerThreshold == 0 {
+			return true
+		}
+		if d.brk.Blocked(at, cfg.BreakerCooldown) {
+			return false
+		}
+		return !d.brk.Probing() || d.probes < cfg.ProbeQuota
+	}
 
 	// advanceAll moves every device's virtual clock up to (strictly
 	// before) t, concurrently; devices share nothing mutable, and
@@ -161,7 +180,92 @@ func Run(ctx context.Context, fl *Fleet, cfg Config) (Metrics, error) {
 			}
 			d.ttftSeen = len(ttft)
 			d.last = p
+			// A fresh barrier interval starts: half-open devices get a
+			// fresh probation quota (their probe outcome, if any, was just
+			// observed above).
+			d.probes = 0
 		}
+	}
+
+	// reroute is the serial re-route phase after each barrier's collect:
+	// it steals queued work from breaker-open devices (full evacuation)
+	// and from over-threshold healthy devices (down to the threshold, and
+	// only while the move strictly improves balance), re-injecting each
+	// query on the least-loaded eligible device with queue room. Both
+	// paths take admission-queued queries first — those move free — then
+	// prefilled-but-preempted ones, which pay the KV handoff penalty. It runs serially in
+	// device order — all sims are quiescent at the barrier — so the
+	// migration flow is part of the deterministic merge, and because the
+	// router's ledger is settled right after collect (inflight equals
+	// each device's in-system depth), one counter serves both the source
+	// condition and the destination choice.
+	reroute := func(at float64) error {
+		if !cfg.Steal {
+			return nil
+		}
+		for di, d := range devs {
+			open := cfg.BreakerThreshold > 0 && d.brk.Blocked(at, cfg.BreakerCooldown)
+			target := cfg.StealThreshold
+			if open {
+				target = 0
+			} else if cfg.StealThreshold == 0 || d.inflight < cfg.StealThreshold {
+				continue
+			}
+			for d.inflight > target {
+				dst := -1
+				for j, e := range devs {
+					if j == di || !eligible(e, at) {
+						continue
+					}
+					if cfg.QueueCap > 0 && e.inflight >= cfg.QueueCap {
+						continue
+					}
+					// Never fill a destination up to the steal trigger:
+					// that work would just be stolen again next barrier.
+					// Evacuations are exempt — a breaker-open source
+					// cannot serve at all, so any live destination with
+					// queue room beats leaving the query stranded.
+					if !open && cfg.StealThreshold > 0 && e.inflight >= cfg.StealThreshold {
+						continue
+					}
+					if dst < 0 || e.inflight < devs[dst].inflight {
+						dst = j
+					}
+				}
+				if dst < 0 {
+					break
+				}
+				if !open && devs[dst].inflight+1 >= d.inflight {
+					break
+				}
+				r, ok := d.sim.Retract()
+				if !ok {
+					r, ok = d.sim.RetractPrefilled()
+				}
+				if !ok {
+					break
+				}
+				pen := 0.0
+				if r.Prefilled {
+					pen = cfg.MigrationPenalty
+				}
+				if err := devs[dst].sim.InjectResume(at, r, pen); err != nil {
+					return err
+				}
+				d.inflight--
+				devs[dst].inflight++
+				if cfg.BreakerThreshold > 0 && devs[dst].brk.Probing() {
+					devs[dst].probes++
+				}
+				m.Stolen++
+				Live.stolen.Add(1)
+				if r.Prefilled {
+					m.StolenPrefilled++
+					Live.stolenPrefilled.Add(1)
+				}
+			}
+		}
+		return nil
 	}
 
 	var clock float64
@@ -186,6 +290,9 @@ func Run(ctx context.Context, fl *Fleet, cfg Config) (Metrics, error) {
 				return Metrics{}, err
 			}
 			collect(nextB)
+			if err := reroute(nextB); err != nil {
+				return Metrics{}, err
+			}
 			m.Barriers++
 			Live.barriers.Add(1)
 			nextB += cfg.SyncInterval
@@ -197,7 +304,7 @@ func Run(ctx context.Context, fl *Fleet, cfg Config) (Metrics, error) {
 		}
 		for i, d := range devs {
 			views[i] = DeviceView{
-				Eligible: cfg.BreakerThreshold == 0 || !d.brk.Blocked(clock, cfg.BreakerCooldown),
+				Eligible: eligible(d, clock),
 				InFlight: d.inflight,
 				TTFTEWMA: d.ewma,
 			}
@@ -215,8 +322,12 @@ func Run(ctx context.Context, fl *Fleet, cfg Config) (Metrics, error) {
 		d := devs[pick]
 		if cfg.BreakerThreshold > 0 {
 			// Routing to a cooled-down open breaker is the half-open
-			// probe; the next collect's outcome closes or reopens it.
+			// probe; the next collect's outcome closes or reopens it,
+			// and the probation quota meters further traffic until then.
 			d.brk.Admit(clock, cfg.BreakerCooldown)
+			if d.brk.Probing() {
+				d.probes++
+			}
 		}
 		if err := d.sim.Inject(clock, q.Prefill, q.Decode); err != nil {
 			return Metrics{}, err
@@ -228,9 +339,40 @@ func Run(ctx context.Context, fl *Fleet, cfg Config) (Metrics, error) {
 	}
 
 	// Drain: seal every arrival stream and run all devices to
-	// quiescence, then settle the ledger one last time.
+	// quiescence, then settle the ledger one last time. With stealing
+	// enabled the drain keeps the barrier cadence while work remains,
+	// so queues stranded behind a breaker that opens during the drain
+	// still get evacuated — the final no-steal AdvanceTo just discards
+	// tail fault events without moving any clock.
 	for _, d := range devs {
 		d.sim.Seal()
+	}
+	if cfg.Steal {
+		for {
+			busy := false
+			for _, d := range devs {
+				if d.inflight > 0 {
+					busy = true
+					break
+				}
+			}
+			if !busy {
+				break
+			}
+			if err := ctx.Err(); err != nil {
+				return Metrics{}, err
+			}
+			if err := advanceAll(nextB); err != nil {
+				return Metrics{}, err
+			}
+			collect(nextB)
+			if err := reroute(nextB); err != nil {
+				return Metrics{}, err
+			}
+			m.Barriers++
+			Live.barriers.Add(1)
+			nextB += cfg.SyncInterval
+		}
 	}
 	if err := advanceAll(math.Inf(1)); err != nil {
 		return Metrics{}, err
@@ -255,6 +397,7 @@ func Run(ctx context.Context, fl *Fleet, cfg Config) (Metrics, error) {
 		m.Failed += dm.Failed
 		m.TimedOut += dm.TimedOut
 		m.Rejected += dm.Rejected
+		m.Retracted += dm.Retracted
 		m.Degraded += dm.Degraded
 		m.FailedOver += dm.FailedOver
 		m.DeviceBreakerOpens += dm.BreakerOpens

@@ -20,6 +20,7 @@ import (
 	"facil/internal/exp"
 	"facil/internal/obs"
 	"facil/internal/run"
+	"facil/internal/serve"
 )
 
 // State is a run's lifecycle stage.
@@ -48,6 +49,12 @@ type Options struct {
 	// OutDir, when non-empty, mirrors each run's result files plus
 	// manifest.json into OutDir/<run-id>/.
 	OutDir string
+	// DrainOutage, when positive, is a simulated PIM-lane outage (in
+	// virtual seconds) injected into the in-flight run's sims when a
+	// drain begins — the shutdown path doubles as a fault drill, so the
+	// degradation/migration machinery is exercised on every graceful
+	// stop. Zero disables the drill.
+	DrainOutage float64
 }
 
 // Run is one submitted scenario's lifecycle record. The JSON form is
@@ -77,10 +84,11 @@ type Run struct {
 // hot observability path (Metrics) reads only atomics and three small
 // counters under the mutex.
 type Server struct {
-	eng    *run.Engine
-	tracer *obs.Tracer
-	outDir string
-	start  time.Time
+	eng         *run.Engine
+	tracer      *obs.Tracer
+	outDir      string
+	drainOutage float64
+	start       time.Time
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -109,11 +117,12 @@ func New(opts Options) *Server {
 			Parallelism: opts.Parallelism,
 			Tracer:      tracer,
 		}),
-		tracer: tracer,
-		outDir: opts.OutDir,
-		start:  time.Now(),
-		runs:   map[string]*Run{},
-		done:   make(chan struct{}),
+		tracer:      tracer,
+		outDir:      opts.OutDir,
+		drainOutage: opts.DrainOutage,
+		start:       time.Now(),
+		runs:        map[string]*Run{},
+		done:        make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	go s.runner()
@@ -224,9 +233,18 @@ func (s *Server) Report(id string) (exp.Report, bool, bool) {
 // completes. Its manifest and result files are flushed by the engine
 // before completion, so returning means everything durable is on disk.
 // Metrics and report endpoints keep serving during and after a drain.
+//
+// With Options.DrainOutage set and a run in flight, the drain first
+// injects the configured lane outage into the run's live sims (the
+// fault drill: the run completes through its degradation policy rather
+// than on a healthy fleet). Drain is idempotent; the outage fires only
+// on the first call that observes an active run.
 func (s *Server) Drain() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.drainOutage > 0 && !s.draining && s.active != "" {
+		serve.TriggerDrainOutage(s.drainOutage)
+	}
 	s.draining = true
 	s.cancelQueuedLocked()
 	for s.active != "" {

@@ -43,6 +43,16 @@ type ClusterConfig struct {
 	FaultMTTR              float64
 	FaultFraction          float64
 	FaultSeed              int64
+	// Migration, when set, additionally runs every strategy with
+	// cross-device work stealing enabled (cluster.Config.Steal): each
+	// strategy contributes a second "+steal" summary row over the same
+	// arrivals and fault schedules, so the table reads as a paired
+	// with/without-migration comparison.
+	Migration bool
+	// StealThreshold is the in-system depth that triggers stealing from
+	// a healthy device on the "+steal" rows (0 = breaker-driven
+	// evacuation only; mirrors cluster.Config.StealThreshold).
+	StealThreshold int
 }
 
 // DefaultClusterConfig is the acceptance-scale fleet: 104 devices across
@@ -74,6 +84,8 @@ func DefaultClusterConfig() ClusterConfig {
 		FaultMTTR:              30,
 		FaultFraction:          0.2,
 		FaultSeed:              99,
+		Migration:              true,
+		StealThreshold:         12,
 	}
 }
 
@@ -104,7 +116,7 @@ func (l *Lab) clusterSystem(c cluster.DeviceClass) (*engine.System, error) {
 }
 
 // clusterConfig lowers one strategy's cell to a cluster.Config.
-func (cfg ClusterConfig) clusterConfig(k cluster.StrategyKind, par int) cluster.Config {
+func (cfg ClusterConfig) clusterConfig(k cluster.StrategyKind, par int, steal bool) cluster.Config {
 	return cluster.Config{
 		Strategy:               k,
 		ArrivalRate:            cfg.Rate,
@@ -122,29 +134,48 @@ func (cfg ClusterConfig) clusterConfig(k cluster.StrategyKind, par int) cluster.
 		FaultMTTR:              cfg.FaultMTTR,
 		FaultFraction:          cfg.FaultFraction,
 		FaultSeed:              cfg.FaultSeed,
+		Steal:                  steal,
+		StealThreshold:         cfg.StealThreshold,
 		Parallelism:            par,
 	}
 }
 
-// ClusterCompute evaluates every strategy over one shared fleet. The
-// strategies run sequentially — each cluster run already fans its
-// devices out over the lab's worker bound between telemetry barriers —
-// and results are byte-identical at any parallelism (the cluster
-// merge's determinism, not the sweep order, carries the guarantee).
+// clusterRuns expands the strategy sweep into (strategy, steal) cells:
+// with Migration on, each strategy runs plain and again with stealing,
+// adjacent in the output so the rows read as paired comparisons.
+func (cfg ClusterConfig) clusterRuns() []cluster.StrategyKind {
+	if !cfg.Migration {
+		return cfg.Strategies
+	}
+	runs := make([]cluster.StrategyKind, 0, 2*len(cfg.Strategies))
+	for _, k := range cfg.Strategies {
+		runs = append(runs, k, k)
+	}
+	return runs
+}
+
+// ClusterCompute evaluates every strategy over one shared fleet (twice
+// per strategy — without and with stealing — when Migration is on). The
+// runs execute sequentially: each cluster run already fans its devices
+// out over the lab's worker bound between telemetry barriers, and
+// results are byte-identical at any parallelism (the cluster merge's
+// determinism, not the sweep order, carries the guarantee).
 func (l *Lab) ClusterCompute(ctx context.Context, cfg ClusterConfig) ([]cluster.Metrics, error) {
 	fl, err := cluster.NewFleet(cfg.Fleet, l.clusterSystem)
 	if err != nil {
 		return nil, err
 	}
-	mets := make([]cluster.Metrics, len(cfg.Strategies))
-	for i, k := range cfg.Strategies {
-		m, err := cluster.Run(ctx, fl, cfg.clusterConfig(k, l.par))
+	runs := cfg.clusterRuns()
+	mets := make([]cluster.Metrics, len(runs))
+	for i, k := range runs {
+		steal := cfg.Migration && i%2 == 1
+		m, err := cluster.Run(ctx, fl, cfg.clusterConfig(k, l.par, steal))
 		if err != nil {
 			return nil, err
 		}
 		mets[i] = m
 		if fn := l.progress; fn != nil {
-			fn("cluster", i+1, len(cfg.Strategies))
+			fn("cluster", i+1, len(runs))
 		}
 	}
 	return mets, nil
@@ -166,7 +197,7 @@ func (l *Lab) Cluster(ctx context.Context, cfg ClusterConfig) ([]Table, error) {
 		Title: fmt.Sprintf("Extension: fleet-scale heterogeneous serving (%d devices, %s traffic)",
 			devices, cfg.Workload.Name),
 		Header: []string{
-			"strategy", "routed", "shed (i/s/b)", "completed", "rejected", "failed",
+			"strategy", "routed", "stolen", "shed (i/s/b)", "completed", "rejected", "failed",
 			"degraded", "health opens", "TTFT p50", "TTFT p99", "TTLT p95", "goodput", "makespan",
 		},
 		Notes: []string{
@@ -180,15 +211,25 @@ func (l *Lab) Cluster(ctx context.Context, cfg ClusterConfig) ([]Table, error) {
 			"every strategy faces byte-identical arrivals, lengths, classes and fault schedules",
 		},
 	}
+	if cfg.Migration {
+		summary.Notes = append(summary.Notes,
+			fmt.Sprintf("\"+steal\" rows re-run the strategy with cross-device migration: barrier re-route phases evacuate breaker-open devices and steal queued work from devices deeper than %d in-system; stolen counts migrations (prefilled moves pay the KV handoff penalty)",
+				cfg.StealThreshold))
+	}
 	classes := Table{
 		ID:     "cluster/classes",
 		Title:  "Fleet breakdown by device class",
 		Header: []string{"strategy", "class", "devices", "routed", "completed", "rejected", "TTFT p50", "TTFT p99", "PIM util", "availability"},
 	}
 	for _, m := range mets {
+		label := m.Strategy.String()
+		if m.Steal {
+			label += "+steal"
+		}
 		summary.Rows = append(summary.Rows, []string{
-			m.Strategy.String(),
+			label,
 			fmt.Sprintf("%d", m.Routed),
+			fmt.Sprintf("%d", m.Stolen),
 			fmt.Sprintf("%d/%d/%d", m.ShedByClass[cluster.Interactive], m.ShedByClass[cluster.Standard], m.ShedByClass[cluster.Batch]),
 			fmt.Sprintf("%d", m.Completed),
 			fmt.Sprintf("%d", m.Rejected),
@@ -203,7 +244,7 @@ func (l *Lab) Cluster(ctx context.Context, cfg ClusterConfig) ([]Table, error) {
 		})
 		for _, pcm := range m.PerClass {
 			classes.Rows = append(classes.Rows, []string{
-				m.Strategy.String(),
+				label,
 				pcm.Class,
 				fmt.Sprintf("%d", pcm.Devices),
 				fmt.Sprintf("%d", pcm.Routed),

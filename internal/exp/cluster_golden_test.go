@@ -16,7 +16,11 @@ import (
 func goldenClusterConfig() ClusterConfig {
 	cfg := DefaultClusterConfig()
 	cfg.Queries = 600
-	cfg.Rate = 2.4
+	// 0.45 q/s per device strains the fleet enough that queues build on
+	// the slow/faulted devices — the regime where migration has work to
+	// move (at the default 0.25 q/s every strategy's steal row is a
+	// no-op and the goldens would pin nothing).
+	cfg.Rate = 3.6
 	cfg.Fleet = []cluster.DeviceClass{
 		{Platform: soc.Jetson, Count: 2},
 		{Platform: soc.Macbook, Count: 2},
@@ -27,6 +31,10 @@ func goldenClusterConfig() ClusterConfig {
 	cfg.FaultMTBF = 120
 	cfg.FaultMTTR = 20
 	cfg.FaultFraction = 0.5
+	// The default steal threshold sits below the default queue cap (16)
+	// but above this config's cap of 8 — depth would never reach it, so
+	// scale it down with the queue.
+	cfg.StealThreshold = 6
 	return cfg
 }
 
@@ -81,30 +89,44 @@ func TestClusterDeterministic(t *testing.T) {
 }
 
 // TestClusterAccounting checks the router's conservation identities on
-// every strategy of the cheap config: each arrival is routed or shed,
-// every routed query reaches a device, and every device-side outcome is
-// terminal once the drain completes.
+// every (strategy, steal) cell of the cheap config: each arrival is
+// routed or shed, every routed query reaches a device (device arrivals
+// exceed routed by exactly the migrations), the migration flow balances
+// (every retraction is a steal), and every routed query reaches a
+// terminal outcome once the drain completes.
 func TestClusterAccounting(t *testing.T) {
 	mets, err := testLab().ClusterCompute(context.Background(), goldenClusterConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
+	sawSteal := false
 	for _, m := range mets {
+		name := m.Strategy.String()
+		if m.Steal {
+			name += "+steal"
+			sawSteal = true
+		}
 		if m.Routed+m.Shed != m.Queries {
-			t.Errorf("%s: routed %d + shed %d != queries %d", m.Strategy, m.Routed, m.Shed, m.Queries)
+			t.Errorf("%s: routed %d + shed %d != queries %d", name, m.Routed, m.Shed, m.Queries)
 		}
-		if m.Arrived != m.Routed {
-			t.Errorf("%s: device arrivals %d != routed %d", m.Strategy, m.Arrived, m.Routed)
+		if m.Arrived != m.Routed+m.Stolen {
+			t.Errorf("%s: device arrivals %d != routed %d + stolen %d", name, m.Arrived, m.Routed, m.Stolen)
 		}
-		if got := m.Completed + m.Failed + m.TimedOut + m.Rejected; got != m.Arrived {
-			t.Errorf("%s: terminal outcomes %d != arrived %d", m.Strategy, got, m.Arrived)
+		if m.Retracted != m.Stolen {
+			t.Errorf("%s: retracted %d != stolen %d", name, m.Retracted, m.Stolen)
+		}
+		if !m.Steal && m.Stolen != 0 {
+			t.Errorf("%s: stolen %d without stealing enabled", name, m.Stolen)
+		}
+		if got := m.Completed + m.Failed + m.TimedOut + m.Rejected; got != m.Routed {
+			t.Errorf("%s: terminal outcomes %d != routed %d", name, got, m.Routed)
 		}
 		shed := 0
 		for _, s := range m.ShedByClass {
 			shed += s
 		}
 		if shed != m.Shed {
-			t.Errorf("%s: per-class shed %d != shed %d", m.Strategy, shed, m.Shed)
+			t.Errorf("%s: per-class shed %d != shed %d", name, shed, m.Shed)
 		}
 		var routed, completed int
 		for _, pcm := range m.PerClass {
@@ -113,10 +135,13 @@ func TestClusterAccounting(t *testing.T) {
 		}
 		if routed != m.Routed || completed != m.Completed {
 			t.Errorf("%s: per-class sums routed %d/completed %d != %d/%d",
-				m.Strategy, routed, completed, m.Routed, m.Completed)
+				name, routed, completed, m.Routed, m.Completed)
 		}
 		if !m.TTFT.Finite() || !m.TTLT.Finite() {
-			t.Errorf("%s: non-finite latency quantiles %+v %+v", m.Strategy, m.TTFT, m.TTLT)
+			t.Errorf("%s: non-finite latency quantiles %+v %+v", name, m.TTFT, m.TTLT)
 		}
+	}
+	if !sawSteal {
+		t.Error("accounting sweep never exercised a stealing run")
 	}
 }

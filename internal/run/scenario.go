@@ -84,13 +84,21 @@ type Scenario struct {
 	// Sync is the cluster telemetry-barrier interval in virtual seconds
 	// (0 = default).
 	Sync float64 `json:"sync,omitempty"`
+	// Steal toggles the cluster experiment's cross-device migration rows
+	// (1 = on, 0 = off, -1 = experiment default). Not omitempty: 0 is
+	// meaningful, so the recorded form always spells it out.
+	Steal int `json:"steal"`
+	// StealThreshold is the in-system depth that triggers stealing from a
+	// healthy device (0 = breaker-driven evacuation only, -1 = experiment
+	// default). Not omitempty, as for Steal.
+	StealThreshold int `json:"stealthreshold"`
 }
 
 // DefaultScenario returns the scenario matching facilsim's flag
 // defaults: every experiment, every override at its "experiment
 // default" sentinel.
 func DefaultScenario() Scenario {
-	return Scenario{QueueCap: -1, SLO: -1}
+	return Scenario{QueueCap: -1, SLO: -1, Steal: -1, StealThreshold: -1}
 }
 
 // Decode parses one scenario JSON document layered over the defaults,
@@ -187,6 +195,12 @@ func (sc Scenario) Args() []string {
 	}
 	if sc.Sync > 0 {
 		args = append(args, "-sync", strconv.FormatFloat(sc.Sync, 'g', -1, 64))
+	}
+	if sc.Steal >= 0 {
+		args = append(args, "-steal="+strconv.FormatBool(sc.Steal != 0))
+	}
+	if sc.StealThreshold >= 0 {
+		args = append(args, "-stealthreshold", strconv.Itoa(sc.StealThreshold))
 	}
 	return args
 }
@@ -384,6 +398,12 @@ func (sc Scenario) applyCluster(cfg *exp.ClusterConfig) error {
 			return fmt.Errorf("run: bad faults entry %q (want a positive MTBF in seconds)", fs[0])
 		}
 		cfg.FaultMTBF = v
+	}
+	if sc.Steal >= 0 {
+		cfg.Migration = sc.Steal != 0
+	}
+	if sc.StealThreshold >= 0 {
+		cfg.StealThreshold = sc.StealThreshold
 	}
 	return nil
 }

@@ -35,25 +35,25 @@ func TestSentinelRoundTrips(t *testing.T) {
 		{
 			name: "zero queuecap means unbounded, not default",
 			json: `{"queuecap": 0}`,
-			want: Scenario{QueueCap: 0, SLO: -1},
+			want: Scenario{QueueCap: 0, SLO: -1, Steal: -1, StealThreshold: -1},
 			args: []string{"-queuecap", "0"},
 		},
 		{
 			name: "zero slo means no deadline, not default",
 			json: `{"slo": 0}`,
-			want: Scenario{QueueCap: -1, SLO: 0},
+			want: Scenario{QueueCap: -1, SLO: 0, Steal: -1, StealThreshold: -1},
 			args: []string{"-slo", "0"},
 		},
 		{
 			name: "both zero-valued fields survive explicitly",
 			json: `{"queuecap": 0, "slo": 0}`,
-			want: Scenario{QueueCap: 0, SLO: 0},
+			want: Scenario{QueueCap: 0, SLO: 0, Steal: -1, StealThreshold: -1},
 			args: []string{"-queuecap", "0", "-slo", "0"},
 		},
 		{
 			name: "positive overrides pass through",
 			json: `{"queuecap": 8, "slo": 12.5, "queries": 64}`,
-			want: Scenario{Queries: 64, QueueCap: 8, SLO: 12.5},
+			want: Scenario{Queries: 64, QueueCap: 8, SLO: 12.5, Steal: -1, StealThreshold: -1},
 			args: []string{"-queries", "64", "-queuecap", "8", "-slo", "12.5"},
 		},
 		{
@@ -63,12 +63,25 @@ func TestSentinelRoundTrips(t *testing.T) {
 			args: nil,
 		},
 		{
+			name: "zero steal means migration off, not default",
+			json: `{"steal": 0}`,
+			want: Scenario{QueueCap: -1, SLO: -1, Steal: 0, StealThreshold: -1},
+			args: []string{"-steal=false"},
+		},
+		{
+			name: "steal on with breaker-driven-only threshold",
+			json: `{"steal": 1, "stealthreshold": 0}`,
+			want: Scenario{QueueCap: -1, SLO: -1, Steal: 1, StealThreshold: 0},
+			args: []string{"-steal=true", "-stealthreshold", "0"},
+		},
+		{
 			name: "string sweeps ride along unchanged",
 			json: `{"experiments": ["serving2"], "modes": "cooperative", "queuecap": 4}`,
 			want: Scenario{
 				Experiments: []string{"serving2"},
 				Modes:       "cooperative",
 				QueueCap:    4, SLO: -1,
+				Steal: -1, StealThreshold: -1,
 			},
 			args: []string{"-id", "serving2", "-modes", "cooperative", "-queuecap", "4"},
 		},

@@ -148,8 +148,11 @@ func (sm *sim) onLaneDown(ri int, until float64) error {
 		r.downUntil = until
 	}
 	sm.push(event{at: until, kind: evLaneUp, rep: int32(ri)})
-	if w, ok := sm.flt.lanes[ri].Next(); ok {
-		sm.push(event{at: w.Start, kind: evLaneDown, rep: int32(ri), until: w.End})
+	// Drain-triggered outages have no per-replica fault stream to chain.
+	if ri < len(sm.flt.lanes) {
+		if w, ok := sm.flt.lanes[ri].Next(); ok {
+			sm.push(event{at: w.Start, kind: evLaneDown, rep: int32(ri), until: w.End})
+		}
 	}
 	// Queries already queued on the dead lane reroute now; an in-flight
 	// quantum still completes (fail-stop at scheduling boundaries).

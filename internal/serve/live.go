@@ -23,6 +23,7 @@ type LiveStats struct {
 	completed atomic.Int64
 	timedOut  atomic.Int64
 	failed    atomic.Int64
+	retracted atomic.Int64
 
 	degraded   atomic.Int64
 	failedOver atomic.Int64
@@ -88,6 +89,9 @@ type LiveSnapshot struct {
 	TimedOut int64 `json:"timed_out"`
 	// Failed counts queries terminally lost to faults.
 	Failed int64 `json:"failed"`
+	// Retracted counts queries pulled back out of a sim for
+	// cross-device migration (each is re-admitted elsewhere).
+	Retracted int64 `json:"retracted"`
 	// Degraded counts queries that ran at least one decode quantum on
 	// the SoC fallback path.
 	Degraded int64 `json:"degraded"`
@@ -109,6 +113,7 @@ func (l *LiveStats) Snapshot() LiveSnapshot {
 		Completed:      l.completed.Load(),
 		TimedOut:       l.timedOut.Load(),
 		Failed:         l.failed.Load(),
+		Retracted:      l.retracted.Load(),
 		Degraded:       l.degraded.Load(),
 		FailedOver:     l.failedOver.Load(),
 	}

@@ -124,3 +124,10 @@ func (b *Breaker) Success() bool {
 	b.consec = 0
 	return probed
 }
+
+// Probing reports whether the breaker is half-open: a probe dispatch
+// was admitted after the cooldown and its outcome has not been recorded
+// yet. Hosts that meter recovery (the cluster router's probation quota)
+// use it to cap how much traffic a recovering resource earns before the
+// probe's verdict is in.
+func (b *Breaker) Probing() bool { return b.state == brkHalfOpen }

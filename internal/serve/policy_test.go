@@ -1,0 +1,122 @@
+package serve
+
+import "testing"
+
+// TestBreakerLifecycle walks the full breaker state machine: closed
+// breakers absorb sub-threshold failures, the threshold-th consecutive
+// failure opens, the cooldown blocks dispatches, the first Admit past
+// the cooldown half-opens as a probe, a failed probe reopens instantly,
+// and a successful probe closes.
+func TestBreakerLifecycle(t *testing.T) {
+	var b Breaker
+	const threshold = 3
+	const cooldown = 60.0
+
+	// The zero value is closed and admitting.
+	if b.Blocked(0, cooldown) {
+		t.Error("zero-value breaker blocks")
+	}
+	if !b.Admit(0, cooldown) {
+		t.Error("zero-value breaker refuses dispatch")
+	}
+	if b.Probing() {
+		t.Error("closed breaker reports probing")
+	}
+
+	// Failures below the threshold leave it closed.
+	if b.Failure(1, threshold) {
+		t.Error("opened on first failure with threshold 3")
+	}
+	if b.Failure(2, threshold) {
+		t.Error("opened on second failure with threshold 3")
+	}
+	if b.Blocked(2, cooldown) {
+		t.Error("blocked while still closed")
+	}
+
+	// The threshold-th consecutive failure opens it.
+	if !b.Failure(3, threshold) {
+		t.Error("threshold-th consecutive failure did not open")
+	}
+	if !b.Blocked(3, cooldown) || !b.Blocked(3+cooldown-0.01, cooldown) {
+		t.Error("open breaker not blocked inside the cooldown")
+	}
+	if b.Admit(3+cooldown-0.01, cooldown) {
+		t.Error("admitted a dispatch inside the cooldown")
+	}
+	if b.Probing() {
+		t.Error("probing inside the cooldown (Admit never half-opened)")
+	}
+
+	// Blocked is read-only: past the cooldown it reports false but the
+	// breaker stays open until an Admit converts it to a probe.
+	if b.Blocked(3+cooldown, cooldown) {
+		t.Error("blocked at the exact cooldown boundary")
+	}
+	if b.Probing() {
+		t.Error("Blocked mutated the breaker into half-open")
+	}
+	if !b.Admit(3+cooldown, cooldown) {
+		t.Error("refused the probe dispatch at the cooldown boundary")
+	}
+	if !b.Probing() {
+		t.Error("not half-open after the post-cooldown Admit")
+	}
+
+	// A failed probe reopens immediately — no threshold accumulation.
+	if !b.Failure(3+cooldown, threshold) {
+		t.Error("failed probe did not reopen")
+	}
+	if !b.Blocked(4+cooldown, cooldown) {
+		t.Error("not blocked after a failed probe")
+	}
+
+	// Recover again; this time the probe succeeds and closes it.
+	probeAt := 3 + 2*cooldown
+	if !b.Admit(probeAt, cooldown) {
+		t.Error("refused the second probe")
+	}
+	if !b.Success() {
+		t.Error("Success on a half-open breaker did not report the probe close")
+	}
+	if b.Probing() || b.Blocked(probeAt, cooldown) {
+		t.Error("breaker not fully closed after a successful probe")
+	}
+}
+
+// TestBreakerSuccessResetsCount pins that Success zeroes the
+// consecutive-failure count: failures after a success start a fresh run
+// toward the threshold rather than resuming the old one.
+func TestBreakerSuccessResetsCount(t *testing.T) {
+	var b Breaker
+	const threshold = 3
+	b.Failure(0, threshold)
+	b.Failure(1, threshold)
+	if b.Success() {
+		t.Error("Success on a closed breaker reported a probe close")
+	}
+	if b.Failure(2, threshold) {
+		t.Error("opened on the first failure after a success")
+	}
+	if b.Failure(3, threshold) {
+		t.Error("opened on the second failure after a success")
+	}
+	if !b.Failure(4, threshold) {
+		t.Error("did not open at threshold consecutive failures")
+	}
+}
+
+// TestBreakerThresholdOne pins the degenerate fail-fast configuration:
+// every failure opens the breaker immediately.
+func TestBreakerThresholdOne(t *testing.T) {
+	var b Breaker
+	if !b.Failure(0, 1) {
+		t.Error("threshold-1 breaker did not open on first failure")
+	}
+	if !b.Blocked(0.5, 1.0) {
+		t.Error("not blocked right after opening")
+	}
+	if !b.Admit(1.0, 1.0) || !b.Probing() {
+		t.Error("did not half-open at the 1s cooldown")
+	}
+}

@@ -220,15 +220,22 @@ type Metrics struct {
 	Replicas int
 
 	// Query accounting: Arrived = Admitted + Rejected and
-	// Admitted = Completed + TimedOut + Failed (Failed is zero without
-	// a fault scenario, reducing to the pre-fault identities). Each
-	// query counts once regardless of retries: Rejected counts only
-	// queries whose retry budget ran out.
+	// Admitted = Completed + TimedOut + Failed + Retracted (Failed is
+	// zero without a fault scenario and Retracted is zero outside
+	// Stream-mode migration, reducing to the pre-fault identities).
+	// Each query counts once regardless of retries: Rejected counts
+	// only queries whose retry budget ran out.
 	Arrived, Admitted, Rejected int
 	Completed, TimedOut         int
 	// Failed counts queries terminally lost to faults: PolicyNone
 	// decode on a dead PIM lane, or silent MapID mis-translation.
 	Failed int
+	// Retracted counts queries pulled back out of this sim by the
+	// Stream-mode retraction API (cross-device migration): admitted
+	// here, finished elsewhere. A migrated query re-counts as Arrived
+	// and Admitted at its destination, so fleet-level identities sum
+	// the per-device ones plus the migration flow.
+	Retracted int
 
 	// Degraded counts queries that ran at least one decode quantum on
 	// the SoC fallback path; FailedOver counts decode migrations to
@@ -286,8 +293,15 @@ type Metrics struct {
 // threads pending FIFOs through the intrusive next link; the reference
 // sim heap-allocates them and leaves next untouched.
 type query struct {
-	id              int
-	arrival         float64
+	id      int
+	arrival float64
+	// start is the query's position in this sim's arrival stream — the
+	// instant it enters admission. It equals arrival everywhere except
+	// for migrated queries re-injected via InjectResume, which keep
+	// their original arrival (latency and deadline accounting never
+	// forget the wait on the retracting device) while entering this
+	// sim's stream at the re-injection barrier.
+	start           float64
 	prefill, decode int
 	stepsDone       int     // decode steps finished (of decode-1)
 	firstToken      float64 // prefill completion (token 1)
@@ -303,6 +317,7 @@ type query struct {
 	attempts int     // client retries consumed so far
 	corrupt  bool    // scenario corrupted the PTE MapID
 	degraded bool    // counted in Metrics.Degraded already
+	resumed  bool    // migrated in after prefill ran elsewhere: skip straight to decode
 	penalty  float64 // one-shot delay before the next quantum (failover migration, PTE repair)
 }
 
@@ -423,6 +438,11 @@ type sim struct {
 	retryRNG  *rand.Rand
 	retryBase float64
 	retryCap  float64
+
+	// drainSeen is the drain-outage generation this sim has applied
+	// (captured at construction, so only sims already running when
+	// TriggerDrainOutage fires take the outage).
+	drainSeen int64
 
 	socBusySecs, pimBusySecs float64
 
@@ -587,7 +607,7 @@ func NewSim(s *engine.System, cfg SimConfig) (*Sim, error) {
 	for i, q := range ds.Queries {
 		clock += rng.ExpFloat64() / cfg.ArrivalRate
 		sm.qs[i] = query{
-			id: i, arrival: clock, prefill: q.Prefill, decode: q.Decode, next: -1,
+			id: i, arrival: clock, start: clock, prefill: q.Prefill, decode: q.Decode, next: -1,
 		}
 		if c := q.Prefill + q.Decode; c > maxCtx {
 			maxCtx = c
@@ -627,6 +647,7 @@ func NewSim(s *engine.System, cfg SimConfig) (*Sim, error) {
 			return nil, err
 		}
 	}
+	sm.drainSeen = drainGen.Load()
 	Live.runsStarted.Add(1)
 	return &Sim{sm: sm}, nil
 }
@@ -681,11 +702,11 @@ func (s *Sim) Inject(at float64, prefill, decode int) error {
 	if math.IsNaN(at) || math.IsInf(at, 0) || at < sm.now {
 		return fmt.Errorf("serve: Inject at %g behind the clock %g", at, sm.now)
 	}
-	if n := len(sm.qs); n > 0 && at < sm.qs[n-1].arrival {
-		return fmt.Errorf("serve: Inject arrivals must be time-ordered (%g after %g)", at, sm.qs[n-1].arrival)
+	if n := len(sm.qs); n > 0 && at < sm.qs[n-1].start {
+		return fmt.Errorf("serve: Inject arrivals must be time-ordered (%g after %g)", at, sm.qs[n-1].start)
 	}
 	qi := len(sm.qs)
-	sm.qs = append(sm.qs, query{id: qi, arrival: at, prefill: prefill, decode: decode, next: -1})
+	sm.qs = append(sm.qs, query{id: qi, arrival: at, start: at, prefill: prefill, decode: decode, next: -1})
 	sm.open++
 	if c := prefill + decode + 1; c > len(sm.stepMain) {
 		sm.stepMain = growCache(sm.stepMain, c)
@@ -745,6 +766,9 @@ type Probe struct {
 	Arrived, Admitted, Rejected int
 	// Completed, TimedOut and Failed are the terminal outcomes so far.
 	Completed, TimedOut, Failed int
+	// Retracted counts queries the host pulled back out for migration;
+	// they left the system without a terminal outcome here.
+	Retracted int
 	// Degraded, FailedOver and BreakerOpens count the in-device
 	// degradation machinery's activity.
 	Degraded, FailedOver, BreakerOpens int
@@ -764,6 +788,7 @@ func (s *Sim) Probe() Probe {
 		Completed:    sm.m.Completed,
 		TimedOut:     sm.m.TimedOut,
 		Failed:       sm.m.Failed,
+		Retracted:    sm.m.Retracted,
 		Degraded:     sm.m.Degraded,
 		FailedOver:   sm.m.FailedOver,
 		BreakerOpens: sm.m.BreakerOpens,
@@ -778,6 +803,132 @@ func (s *Sim) Probe() Probe {
 // latency-weighted EWMA.
 func (s *Sim) Latencies() (ttft, ttlt []float64) {
 	return s.sm.ttfts, s.sm.ttlts
+}
+
+// Retracted is one query pulled back out of a Stream-mode sim by
+// Retract or RetractPrefilled — the unit of cross-device migration. It
+// carries exactly what a destination sim needs to resume the query
+// honestly via InjectResume: the original arrival time (latency and
+// deadline accounting never forget the wait on the retracting device),
+// the token lengths, and the decode progress when prefill already ran.
+type Retracted struct {
+	// Arrival is the query's original arrival time on the source sim's
+	// clock (the fleet shares one virtual clock across devices).
+	Arrival float64
+	// Prefill and Decode are the query's token lengths.
+	Prefill, Decode int
+	// StepsDone is the decode progress so far (always 0 unless
+	// Prefilled).
+	StepsDone int
+	// Prefilled reports that the query finished prefill on the source
+	// device: its KV cache lives there, so resuming it elsewhere should
+	// be charged the cross-device handoff penalty. Unstarted queries
+	// move free — nothing has been computed for them yet.
+	Prefilled bool
+}
+
+// Retract pulls the longest-waiting admission-queued query back out of
+// a Stream-mode sim without perturbing started ones: the query leaves
+// the system counted as Retracted (not as any terminal outcome), and
+// the host re-injects it elsewhere with InjectResume. It returns false
+// when the admission queue is empty or the sim is not Stream-mode.
+// Like Inject, it must be called between advances, never concurrently
+// with them — the cluster router retracts in the serial re-route phase
+// at each telemetry barrier.
+func (s *Sim) Retract() (Retracted, bool) {
+	sm := s.sm
+	if !sm.cfg.Stream || sm.wait.empty() {
+		return Retracted{}, false
+	}
+	return sm.retract(sm.wait.pop(sm.qs), false), true
+}
+
+// RetractPrefilled pulls one prefilled-but-preempted query out of a
+// Stream-mode sim: the head of the first non-empty decode queue. Its
+// prefill work is kept (StepsDone and Prefilled travel with it), and
+// the caller is expected to charge the KV-transfer penalty on
+// re-injection. Queries mid-quantum and queries on the SoC fallback
+// path are never retracted — the former are executing, the latter are
+// already being served by the degradation policy. Returns false when
+// nothing is retractable.
+func (s *Sim) RetractPrefilled() (Retracted, bool) {
+	sm := s.sm
+	if !sm.cfg.Stream {
+		return Retracted{}, false
+	}
+	for ri := range sm.reps {
+		if !sm.reps[ri].decodeQ.empty() {
+			return sm.retract(sm.reps[ri].decodeQ.pop(sm.qs), true), true
+		}
+	}
+	return Retracted{}, false
+}
+
+// retract books one already-unlinked query out of the sim.
+func (sm *sim) retract(qi int32, prefilled bool) Retracted {
+	q := &sm.qs[qi]
+	sm.m.Retracted++
+	Live.retracted.Add(1)
+	sm.inSystem--
+	sm.open--
+	sm.traceInstant("retract", q)
+	sm.traceDepth()
+	return Retracted{
+		Arrival: q.arrival, Prefill: q.prefill, Decode: q.decode,
+		StepsDone: q.stepsDone, Prefilled: prefilled,
+	}
+}
+
+// InjectResume appends a retracted query to a Stream-mode sim's arrival
+// stream at time `at`, subject to the same ordering rules as Inject.
+// The query keeps its original arrival for latency and deadline
+// accounting but enters this sim's admission path at `at`; penalty is
+// the one-shot handoff cost (KV-cache transfer and re-layout into the
+// destination's mapping) charged before its first decode quantum here —
+// pass 0 for unstarted queries, whose state is only their lengths. A
+// prefilled query skips the destination's prefill lanes entirely and
+// resumes decode where it left off. Unlike Inject, InjectResume is
+// legal after Seal: it redistributes a query the fleet already
+// admitted, which is exactly what a drain that keeps migrating away
+// from failing devices needs.
+func (s *Sim) InjectResume(at float64, r Retracted, penalty float64) error {
+	sm := s.sm
+	if !sm.cfg.Stream {
+		return fmt.Errorf("serve: InjectResume requires a Stream-mode sim")
+	}
+	if r.Prefill <= 0 || r.Decode <= 0 {
+		return fmt.Errorf("serve: InjectResume token counts must be positive, got prefill=%d decode=%d", r.Prefill, r.Decode)
+	}
+	if r.StepsDone < 0 || r.StepsDone > r.Decode-1 || (!r.Prefilled && r.StepsDone != 0) {
+		return fmt.Errorf("serve: InjectResume got inconsistent decode progress %d of %d (prefilled=%t)", r.StepsDone, r.Decode, r.Prefilled)
+	}
+	if penalty < 0 || math.IsNaN(penalty) || math.IsInf(penalty, 0) {
+		return fmt.Errorf("serve: InjectResume penalty must be a finite non-negative duration, got %g", penalty)
+	}
+	if math.IsNaN(at) || math.IsInf(at, 0) || at < sm.now {
+		return fmt.Errorf("serve: InjectResume at %g behind the clock %g", at, sm.now)
+	}
+	if math.IsNaN(r.Arrival) || r.Arrival > at {
+		return fmt.Errorf("serve: InjectResume arrival %g after re-injection time %g", r.Arrival, at)
+	}
+	if n := len(sm.qs); n > 0 && at < sm.qs[n-1].start {
+		return fmt.Errorf("serve: Inject arrivals must be time-ordered (%g after %g)", at, sm.qs[n-1].start)
+	}
+	qi := len(sm.qs)
+	sm.qs = append(sm.qs, query{
+		id: qi, arrival: r.Arrival, start: at,
+		prefill: r.Prefill, decode: r.Decode, stepsDone: r.StepsDone,
+		resumed: r.Prefilled, penalty: penalty, next: -1,
+	})
+	sm.open++
+	if c := r.Prefill + r.Decode + 1; c > len(sm.stepMain) {
+		sm.stepMain = growCache(sm.stepMain, c)
+		sm.stepSoC = growCache(sm.stepSoC, c)
+	}
+	if r.Prefill+1 > len(sm.preStatic) {
+		sm.preStatic = growCache(sm.preStatic, r.Prefill+1)
+	}
+	return nil
 }
 
 // push schedules a dynamic event with the next tie-break sequence
@@ -870,13 +1021,17 @@ func (sm *sim) step() (bool, error) {
 // time-weighted histograms) end at the last query event, not at whatever
 // outage the infinite stochastic stream scheduled next.
 func (sm *sim) stepUntil(horizon float64) (bool, error) {
+	if g := drainGen.Load(); g != sm.drainSeen {
+		sm.drainSeen = g
+		sm.applyDrainOutage(math.Float64frombits(drainDur.Load()))
+	}
 	for {
 		hasArr := int(sm.nextArr) < len(sm.qs)
 		var limAt float64
 		var limTick int64
 		hasLim, arrLim := false, false
-		if hasArr && sm.qs[sm.nextArr].arrival < horizon {
-			limAt = sm.qs[sm.nextArr].arrival
+		if hasArr && sm.qs[sm.nextArr].start < horizon {
+			limAt = sm.qs[sm.nextArr].start
 			hasLim, arrLim = true, true
 		} else if !math.IsInf(horizon, 1) {
 			limAt = horizon
@@ -915,7 +1070,7 @@ func (sm *sim) stepUntil(horizon float64) (bool, error) {
 		if limFirst && arrLim {
 			qi := sm.nextArr
 			sm.nextArr++
-			sm.advance(sm.qs[qi].arrival)
+			sm.advance(sm.qs[qi].start)
 			Live.events.Add(1)
 			return true, sm.onArrival(qi)
 		}
@@ -949,13 +1104,27 @@ func (sm *sim) onArrival(qi int32) error {
 	}
 	sm.m.Admitted++
 	Live.admitted.Add(1)
-	sm.maybeCorrupt(q)
+	if !q.resumed {
+		sm.maybeCorrupt(q)
+	}
 	sm.inSystem++
 	if sm.inSystem > sm.m.MaxQueueDepth {
 		sm.m.MaxQueueDepth = sm.inSystem
 	}
 	sm.traceInstant("arrival", q)
 	sm.traceDepth()
+	if q.resumed {
+		// A migrated query whose prefill already ran elsewhere skips the
+		// SoC lane: its KV cache arrives with it (the handoff penalty was
+		// charged at re-injection) and decode resumes where it left off.
+		// The source sim recorded its TTFT at the original prefill; the
+		// token clock restarts here so TBT/TTLT stay monotone.
+		q.firstToken = sm.now
+		q.prevToken = sm.now
+		ri := int(qi) % len(sm.reps)
+		sm.reps[ri].decodeQ.push(sm.qs, qi)
+		return sm.dispatchDecode(ri)
+	}
 	sm.wait.push(sm.qs, qi)
 	return sm.dispatchPrefills()
 }

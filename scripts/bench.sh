@@ -1,11 +1,11 @@
 #!/bin/sh
 # bench.sh — regenerate the committed perf baselines (BENCH_dram.json,
-# BENCH_serve.json) and print the raw go-test micro-benchmarks for
-# eyeballing.
+# BENCH_serve.json, BENCH_cluster.json) and print the raw go-test
+# micro-benchmarks for eyeballing.
 #
 # Run from the repo root on an otherwise idle machine:
 #
-#   ./scripts/bench.sh            # refresh both baselines + print benches
+#   ./scripts/bench.sh            # refresh the baselines + print benches
 #
 # BENCH_dram.json is the committed perf trajectory of the DRAM scheduler
 # hot path: ns/request and allocs/op for the optimized channel scheduler,
@@ -18,6 +18,12 @@
 # ns/query and simulated queries/sec for the timing-wheel engine against
 # the retained heap ReferenceSim. Compare before/after numbers when
 # touching internal/serve.
+#
+# BENCH_cluster.json covers the fleet router: full-run ns/query and
+# queries/sec for a faulted benchmark fleet without and with the barrier
+# re-route (steal) phase, plus their ratio — the price of the migration
+# machinery. Compare before/after numbers when touching
+# internal/cluster.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -32,3 +38,7 @@ cat BENCH_dram.json
 go run ./cmd/facilsim -benchserve > BENCH_serve.json.tmp
 mv BENCH_serve.json.tmp BENCH_serve.json
 cat BENCH_serve.json
+
+go run ./cmd/facilsim -benchcluster > BENCH_cluster.json.tmp
+mv BENCH_cluster.json.tmp BENCH_cluster.json
+cat BENCH_cluster.json

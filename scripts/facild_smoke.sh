@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # facild end-to-end smoke: start the daemon, submit a scenario, watch
 # /metrics move while the run is in flight, SIGTERM it mid-service and
-# assert a clean drain (exit 0, manifest flushed). CI runs this on
-# every push; it is also a local one-liner: scripts/facild_smoke.sh
+# assert a clean drain (exit 0, manifest flushed); then repeat the drain
+# against a -drainoutage daemon with the run still in flight and assert
+# the fault drill fires (outage logged, drill counters logged, run
+# completes, exit 0). CI runs this on every push; it is also a local
+# one-liner: scripts/facild_smoke.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -72,4 +75,38 @@ test "$rc" -eq 0
 test -s "$out/results/$run_id/manifest.json"
 test -s "$out/results/$run_id/serving2.json"
 grep -q "drained cleanly" "$log"
+
+# Drain drill: restart with -drainoutage, SIGTERM while a run is in
+# flight, and assert the injected outage is logged, the drill summary is
+# logged, the run still completes and flushes, and the exit is clean.
+drill_log="$out/facild_drill.log"
+"$out/facild" -addr "$addr" -o "$out/drill" -drainoutage 30 >"$drill_log" 2>&1 &
+pid=$!
+for _ in $(seq 1 50); do
+  curl -sf "http://$addr/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+drill_id="$(curl -sf -X POST "http://$addr/runs" \
+  -d '{"experiments": ["serving2"], "queries": 2000, "rates": "1,2", "replicas": "1,2"}' \
+  | python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])')"
+# SIGTERM as soon as the run is observably in flight.
+python3 - "$addr" "$drill_id" <<'PY'
+import json, sys, time, urllib.request
+addr, run_id = sys.argv[1], sys.argv[2]
+deadline = time.time() + 60
+while time.time() < deadline:
+    with urllib.request.urlopen(f"http://{addr}/runs/{run_id}") as r:
+        if json.load(r)["state"] == "running":
+            sys.exit(0)
+    time.sleep(0.05)
+sys.exit("drill run never started")
+PY
+kill -TERM "$pid"
+wait "$pid"
+rc=$?
+test "$rc" -eq 0
+test -s "$out/drill/$drill_id/manifest.json"
+grep -q "injecting 30s lane outage" "$drill_log"
+grep -q "drain drill:" "$drill_log"
+grep -q "drained cleanly" "$drill_log"
 echo "facild smoke: OK"
