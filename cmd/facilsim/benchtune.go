@@ -1,0 +1,212 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+
+	"facil/internal/dram"
+	"facil/internal/mapping"
+	"facil/internal/tune"
+)
+
+// tuneBenchReport is the schema of BENCH_tune.json — the committed perf
+// baseline for the mapping auto-tuner, next to the dram/serve/cluster
+// baselines. Regenerate with scripts/bench.sh (or `go run ./cmd/facilsim
+// -benchtune`) on an otherwise idle machine.
+type tuneBenchReport struct {
+	GeneratedBy string `json:"generated_by"`
+	GoVersion   string `json:"go_version"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+
+	// TraceBursts is the canonical trace length every number below is
+	// measured against (Jetson geometry, 4096x4096 fp16 matrix, one
+	// 2 MiB window per phase).
+	TraceBursts int `json:"trace_bursts"`
+
+	// Tier-one estimator throughput (Score only, trace windowed as in
+	// the search) vs the full FR-FCFS scheduler replaying the whole
+	// trace. EstSpeedup is the per-candidate ratio the >= 100x
+	// acceptance gate (TestEstimatorSpeedupGate) enforces.
+	EstNsPerCandidate   float64 `json:"est_ns_per_candidate"`
+	EstCandidatesPerSec float64 `json:"est_candidates_per_sec"`
+	SimNsPerCandidate   float64 `json:"sim_ns_per_candidate"`
+	EstSpeedup          float64 `json:"est_speedup"`
+
+	// End-to-end search throughput: unique candidates evaluated per
+	// second including genome generation, dedup, the per-candidate
+	// bijection gate and Pareto maintenance.
+	SearchNsPerCandidate   float64 `json:"search_ns_per_candidate"`
+	SearchCandidatesPerSec float64 `json:"search_candidates_per_sec"`
+
+	// Estimator-vs-full-sim rank agreement over the search survivors
+	// (Pareto front plus the fixed MapID family): how many of the
+	// estimator's top-4 the scheduler's top-4 confirms.
+	RankCandidates  int `json:"rank_candidates"`
+	RankOverlapTop4 int `json:"rank_overlap_top4"`
+}
+
+// tuneBenchConfig is the Jetson/Alpaca cell of the maptune experiment:
+// the 16-channel geometry with the Llama-size projection matrix.
+func tuneBenchConfig() (tune.Config, error) {
+	spec := dram.JetsonOrinLPDDR5
+	g := spec.Geometry
+	mc := mapping.MemoryConfig{Geometry: g, HugePageBytes: 2 << 20}
+	chunk := mapping.AiMChunk(g)
+	matrix := mapping.MatrixConfig{Rows: 4096, Cols: 4096, DTypeBytes: 2}
+	sel, err := mapping.SelectMapping(matrix, mc, chunk)
+	if err != nil {
+		return tune.Config{}, err
+	}
+	tr, err := tune.CaptureTrace(g, tune.TraceConfig{
+		Matrix:       matrix,
+		Streams:      sel.RowsPerPass,
+		SampleBytes:  2 << 20,
+		DecodeWeight: 65,
+	})
+	if err != nil {
+		return tune.Config{}, err
+	}
+	return tune.Config{
+		Spec:      spec,
+		Trace:     tr,
+		Baseline:  sel.ID,
+		Budget:    256,
+		TopK:      8,
+		Seed:      7,
+		EstWindow: 16384,
+	}, nil
+}
+
+// runTuneBench executes the tuner benchmarks in-process and writes the
+// JSON report to stdout.
+func runTuneBench() int {
+	fail := func(err error) int {
+		fmt.Fprintf(os.Stderr, "facilsim: -benchtune: %v\n", err)
+		return 1
+	}
+	cfg, err := tuneBenchConfig()
+	if err != nil {
+		return fail(err)
+	}
+	rep := tuneBenchReport{
+		GeneratedBy: "go run ./cmd/facilsim -benchtune (see scripts/bench.sh)",
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		TraceBursts: cfg.Trace.Bursts(),
+	}
+
+	// One full search doubles as warm-up and as the survivor set the
+	// rank-agreement numbers are measured over.
+	res, err := tune.Search(context.Background(), cfg)
+	if err != nil {
+		return fail(err)
+	}
+	genomes := make([]tune.Genome, 0, len(res.Front)+len(res.Fixed))
+	ests := make([]float64, 0, cap(genomes))
+	for _, c := range res.Front {
+		genomes = append(genomes, c.Genome)
+		ests = append(ests, c.Cost.EstCycles)
+	}
+	for _, f := range res.Fixed {
+		genomes = append(genomes, f.Genome)
+		ests = append(ests, f.Cost.EstCycles)
+	}
+
+	// Tier-one throughput: the steady-state Score loop the search runs.
+	ev, err := tune.NewEvaluator(res.Space, cfg.Trace, cfg.Spec.Timing, cfg.EstWindow)
+	if err != nil {
+		return fail(err)
+	}
+	if err := ev.SetBaseline(res.Fixed[0].Genome); err != nil {
+		return fail(err)
+	}
+	var benchErr error
+	bres := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ev.Score(genomes[i%len(genomes)]); err != nil {
+				benchErr = err
+				return
+			}
+		}
+	})
+	if benchErr != nil {
+		return fail(benchErr)
+	}
+	rep.EstNsPerCandidate = float64(bres.NsPerOp())
+	rep.EstCandidatesPerSec = 1e9 / rep.EstNsPerCandidate
+
+	// Tier-two cost and rank agreement over the same survivors.
+	sims := make([]float64, len(genomes))
+	for i, g := range genomes {
+		m, err := res.Space.Build(g)
+		if err != nil {
+			return fail(err)
+		}
+		start := testing.Benchmark(func(b *testing.B) {
+			for j := 0; j < b.N; j++ {
+				if _, err := tune.SimScore(cfg.Spec, cfg.Trace, m); err != nil {
+					benchErr = err
+					return
+				}
+			}
+		})
+		if benchErr != nil {
+			return fail(benchErr)
+		}
+		rep.SimNsPerCandidate += float64(start.NsPerOp())
+		sr, err := tune.SimScore(cfg.Spec, cfg.Trace, m)
+		if err != nil {
+			return fail(err)
+		}
+		sims[i] = sr.SimCycles
+	}
+	rep.SimNsPerCandidate /= float64(len(genomes))
+	rep.EstSpeedup = rep.SimNsPerCandidate / rep.EstNsPerCandidate
+	rep.RankCandidates = len(genomes)
+	top4 := func(score []float64) map[int]bool {
+		order := make([]int, len(score))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return score[order[a]] < score[order[b]] })
+		set := map[int]bool{}
+		for _, i := range order[:4] {
+			set[i] = true
+		}
+		return set
+	}
+	simTop := top4(sims)
+	for i := range top4(ests) {
+		if simTop[i] {
+			rep.RankOverlapTop4++
+		}
+	}
+
+	// End-to-end search throughput (generation, dedup, bijection gate
+	// and Pareto maintenance included).
+	sres := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := tune.Search(context.Background(), cfg); err != nil {
+				benchErr = err
+				return
+			}
+		}
+	})
+	if benchErr != nil {
+		return fail(benchErr)
+	}
+	rep.SearchNsPerCandidate = float64(sres.NsPerOp()) / float64(res.Evaluated)
+	rep.SearchCandidatesPerSec = 1e9 / rep.SearchNsPerCandidate
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return fail(err)
+	}
+	return 0
+}

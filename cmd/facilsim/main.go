@@ -52,11 +52,20 @@
 // "jetson:26,ideapad/mac8:26"), -devices (rescale the fleet preserving
 // its mix), -rate (cluster-wide q/s), -sync (telemetry-barrier
 // interval in virtual seconds), -steal (pair every strategy row with a
-// cross-device migration "+steal" row) and -stealthreshold (the
+// cross-device migration "+steal" row), -stealthreshold (the
 // in-system depth that triggers stealing from a healthy device;
-// 0 = breaker-driven evacuation only); -queries, -seed, -queuecap,
+// 0 = breaker-driven evacuation only) and -stealscore (steal-destination
+// scoring: depth picks the least-loaded device, latency minimizes the
+// TTFT-EWMA expected-wait proxy); -queries, -seed, -queuecap,
 // -slo, -faultseed, a single -policy and a single -faults MTBF apply
 // per device.
+//
+// maptune (the mapping auto-tuner extension; `facilsim -tune` is
+// shorthand for the identifier) searches generalized page-offset
+// permutation+XOR PA-to-DA mappings against per-workload traces and
+// re-validates the Pareto front on the full scheduler. -tunebudget
+// bounds the candidates scored per (platform, workload) cell and
+// -tuneseed picks the mutation stream.
 //
 // -par N bounds the worker pool: independent experiment identifiers run
 // concurrently, and each ported experiment additionally fans its sweep
@@ -70,9 +79,10 @@
 //
 // -bench runs the DRAM scheduler perf baseline (micro-benchmarks plus
 // fig6/tab1 wall times) and prints BENCH_dram.json to stdout;
-// -benchserve and -benchcluster do the same for the serving loop
-// (BENCH_serve.json) and the cluster barrier/steal path
-// (BENCH_cluster.json); see scripts/bench.sh. -version prints the
+// -benchserve, -benchcluster and -benchtune do the same for the serving
+// loop (BENCH_serve.json), the cluster barrier/steal path
+// (BENCH_cluster.json) and the mapping auto-tuner estimator
+// (BENCH_tune.json); see scripts/bench.sh. -version prints the
 // module version and build info.
 //
 // A failing experiment does not abort the run: remaining identifiers
@@ -139,9 +149,14 @@ func mainErr() int {
 	sync_ := flag.Float64("sync", 0, "cluster: telemetry-barrier interval in virtual seconds (0 = default)")
 	steal := flag.Bool("steal", true, "cluster: add cross-device migration (+steal) rows to the strategy sweep")
 	stealThreshold := flag.Int("stealthreshold", -1, "cluster: in-system depth that triggers stealing from a healthy device (0 = breaker-driven only, -1 = default)")
+	stealScore := flag.String("stealscore", "", "cluster: steal-destination scoring, depth or latency (empty = default)")
+	tuneRun := flag.Bool("tune", false, "shorthand: run the maptune experiment (equivalent to the 'maptune' identifier)")
+	tuneBudget := flag.Int("tunebudget", 0, "maptune: candidate budget per (platform, workload) cell (0 = default)")
+	tuneSeed := flag.Int64("tuneseed", 0, "maptune: mutation-stream seed (0 = default)")
 	bench := flag.Bool("bench", false, "run the DRAM scheduler perf baseline and print BENCH_dram.json to stdout")
 	benchServe := flag.Bool("benchserve", false, "run the serving-loop perf baseline and print BENCH_serve.json to stdout")
 	benchCluster := flag.Bool("benchcluster", false, "run the cluster barrier/steal perf baseline and print BENCH_cluster.json to stdout")
+	benchTune := flag.Bool("benchtune", false, "run the mapping auto-tuner perf baseline and print BENCH_tune.json to stdout")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -221,6 +236,9 @@ func mainErr() int {
 	if *benchCluster {
 		return runClusterBench()
 	}
+	if *benchTune {
+		return runTuneBench()
+	}
 
 	// Assemble the scenario: a replayed file forms the base, explicit
 	// flags override its fields, and positional/-id identifiers replace
@@ -292,6 +310,15 @@ func mainErr() int {
 	if set["stealthreshold"] {
 		sc.StealThreshold = *stealThreshold
 	}
+	if set["stealscore"] {
+		sc.StealScore = *stealScore
+	}
+	if set["tunebudget"] {
+		sc.TuneBudget = *tuneBudget
+	}
+	if set["tuneseed"] {
+		sc.TuneSeed = *tuneSeed
+	}
 	ids := flag.Args()
 	for _, id := range strings.Split(*idList, ",") {
 		if id = strings.TrimSpace(id); id != "" {
@@ -300,6 +327,9 @@ func mainErr() int {
 	}
 	if *clusterRun {
 		ids = append(ids, "cluster")
+	}
+	if *tuneRun {
+		ids = append(ids, "maptune")
 	}
 	if len(ids) > 0 {
 		sc.Experiments = ids

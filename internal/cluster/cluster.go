@@ -305,7 +305,8 @@ type Config struct {
 	// devices whose health breaker is open (admission-queued first,
 	// then prefilled queries) or whose in-system depth reaches
 	// StealThreshold (admission-queued only) and re-injects it on the
-	// least-loaded eligible device with room. Prefilled queries are
+	// least-loaded eligible device with room (see LatencySteal for the
+	// latency-aware destination choice). Prefilled queries are
 	// charged MigrationPenalty at the destination — the KV-cache
 	// transfer and re-layout into the adopting device's mapping —
 	// while unstarted queries move free.
@@ -315,6 +316,15 @@ type Config struct {
 	// depth-based stealing; breaker-open evacuation still runs
 	// whenever Steal is set and BreakerThreshold > 0).
 	StealThreshold int
+	// LatencySteal switches the steal destination choice from
+	// least-loaded to the expected-wait proxy the LatencyWeighted
+	// strategy routes by — observed-TTFT-EWMA × (in-flight + 1),
+	// lowest index on ties — so stolen work lands on fast-and-idle
+	// devices instead of merely shallow ones (a slow device with a
+	// short queue can still be the worse adoption target). Devices
+	// with no TTFT observation yet score zero and win first, matching
+	// LatencyWeighted's probing behavior.
+	LatencySteal bool
 	// MigrationPenalty is the per-query cross-device handoff cost in
 	// seconds charged when a prefilled query resumes elsewhere
 	// (0 = DefaultMigrationPenalty).

@@ -191,7 +191,8 @@ func Run(ctx context.Context, fl *Fleet, cfg Config) (Metrics, error) {
 	// it steals queued work from breaker-open devices (full evacuation)
 	// and from over-threshold healthy devices (down to the threshold, and
 	// only while the move strictly improves balance), re-injecting each
-	// query on the least-loaded eligible device with queue room. Both
+	// query on the least-loaded eligible device with queue room (or, with
+	// LatencySteal, the one minimizing the TTFT-EWMA expected-wait proxy). Both
 	// paths take admission-queued queries first — those move free — then
 	// prefilled-but-preempted ones, which pay the KV handoff penalty. It runs serially in
 	// device order — all sims are quiescent at the barrier — so the
@@ -213,6 +214,7 @@ func Run(ctx context.Context, fl *Fleet, cfg Config) (Metrics, error) {
 			}
 			for d.inflight > target {
 				dst := -1
+				var dstScore float64
 				for j, e := range devs {
 					if j == di || !eligible(e, at) {
 						continue
@@ -228,7 +230,14 @@ func Run(ctx context.Context, fl *Fleet, cfg Config) (Metrics, error) {
 					if !open && cfg.StealThreshold > 0 && e.inflight >= cfg.StealThreshold {
 						continue
 					}
-					if dst < 0 || e.inflight < devs[dst].inflight {
+					if cfg.LatencySteal {
+						// Expected-wait proxy, as LatencyWeighted routes:
+						// unobserved devices score 0 and win first.
+						score := e.ewma * (float64(e.inflight) + 1)
+						if dst < 0 || score < dstScore {
+							dst, dstScore = j, score
+						}
+					} else if dst < 0 || e.inflight < devs[dst].inflight {
 						dst = j
 					}
 				}

@@ -53,6 +53,10 @@ type ClusterConfig struct {
 	// a healthy device on the "+steal" rows (0 = breaker-driven
 	// evacuation only; mirrors cluster.Config.StealThreshold).
 	StealThreshold int
+	// LatencySteal picks steal destinations by the TTFT-EWMA
+	// expected-wait proxy instead of least-depth (mirrors
+	// cluster.Config.LatencySteal).
+	LatencySteal bool
 }
 
 // DefaultClusterConfig is the acceptance-scale fleet: 104 devices across
@@ -86,6 +90,7 @@ func DefaultClusterConfig() ClusterConfig {
 		FaultSeed:              99,
 		Migration:              true,
 		StealThreshold:         12,
+		LatencySteal:           true,
 	}
 }
 
@@ -136,6 +141,7 @@ func (cfg ClusterConfig) clusterConfig(k cluster.StrategyKind, par int, steal bo
 		FaultSeed:              cfg.FaultSeed,
 		Steal:                  steal,
 		StealThreshold:         cfg.StealThreshold,
+		LatencySteal:           cfg.LatencySteal,
 		Parallelism:            par,
 	}
 }
@@ -212,9 +218,13 @@ func (l *Lab) Cluster(ctx context.Context, cfg ClusterConfig) ([]Table, error) {
 		},
 	}
 	if cfg.Migration {
+		dest := "least-loaded destinations"
+		if cfg.LatencySteal {
+			dest = "destinations scored by TTFT-EWMA x (depth+1)"
+		}
 		summary.Notes = append(summary.Notes,
-			fmt.Sprintf("\"+steal\" rows re-run the strategy with cross-device migration: barrier re-route phases evacuate breaker-open devices and steal queued work from devices deeper than %d in-system; stolen counts migrations (prefilled moves pay the KV handoff penalty)",
-				cfg.StealThreshold))
+			fmt.Sprintf("\"+steal\" rows re-run the strategy with cross-device migration: barrier re-route phases evacuate breaker-open devices and steal queued work from devices deeper than %d in-system onto %s; stolen counts migrations (prefilled moves pay the KV handoff penalty)",
+				cfg.StealThreshold, dest))
 	}
 	classes := Table{
 		ID:     "cluster/classes",

@@ -1,0 +1,105 @@
+package exp
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"facil/internal/soc"
+	"facil/internal/workload"
+)
+
+// smallMapTuneConfig keeps the determinism sweep cheap: one cell, a
+// quarter of the default budget, half-size trace windows.
+func smallMapTuneConfig() MapTuneConfig {
+	cfg := DefaultMapTuneConfig()
+	cfg.Platforms = []soc.Platform{soc.Jetson}
+	cfg.Workloads = []workload.Spec{workload.AlpacaSpec()}
+	cfg.Budget = 64
+	cfg.SampleBytes = 1 << 19
+	cfg.EstWindow = 4096
+	return cfg
+}
+
+// renderMapTune concatenates the experiment's tables, the byte string
+// the tuner regression tests compare.
+func renderMapTune(t *testing.T, l *Lab, cfg MapTuneConfig) string {
+	t.Helper()
+	tabs, err := l.MapTune(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, tab := range tabs {
+		b.WriteString(tab.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TestMapTuneGolden pins the full default grid — the table EXPERIMENTS.md
+// quotes, including the headline cell where a searched mapping beats the
+// best fixed MapID on the full scheduler.
+func TestMapTuneGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping full tuner grid in -short mode")
+	}
+	checkGolden(t, "maptune", renderMapTune(t, testLab(), DefaultMapTuneConfig()))
+}
+
+// TestMapTuneBeatsFixed is the acceptance criterion of the tuner: on at
+// least one (platform, workload) cell, a searched mapping must beat the
+// best fixed MapID under the full FR-FCFS scheduler, not just under the
+// estimator.
+func TestMapTuneBeatsFixed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping full tuner grid in -short mode")
+	}
+	cells, err := testLab().MapTuneCompute(context.Background(), DefaultMapTuneConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	won := false
+	for _, c := range cells {
+		bestFixed := c.FixedSim[0].SimCycles
+		for _, s := range c.FixedSim {
+			if s.SimCycles < bestFixed {
+				bestFixed = s.SimCycles
+			}
+		}
+		bestFound := c.FrontSim[0].SimCycles
+		for _, s := range c.FrontSim {
+			if s.SimCycles < bestFound {
+				bestFound = s.SimCycles
+			}
+		}
+		t.Logf("%s/%s: best fixed %.0f, best tuned %.0f (%.2fx)",
+			platformShort(c.Platform), c.Workload.Name, bestFixed, bestFound, bestFixed/bestFound)
+		if bestFound < bestFixed {
+			won = true
+		}
+	}
+	if !won {
+		t.Error("no cell found a mapping beating the best fixed MapID in full simulation")
+	}
+}
+
+// TestMapTuneDeterministic pins the exp-level determinism contract: the
+// same config renders byte-identically serially, serially again, and at
+// 8-way parallelism (the searches, re-validation sweeps and table
+// rendering all assign results by index).
+func TestMapTuneDeterministic(t *testing.T) {
+	cfg := smallMapTuneConfig()
+	render := func(par int) string {
+		l := freshLab()
+		l.SetParallelism(par)
+		return renderMapTune(t, l, cfg)
+	}
+	serial := render(1)
+	if again := render(1); again != serial {
+		t.Errorf("repeated serial tuner runs differ:\n%s\nvs\n%s", serial, again)
+	}
+	if par := render(8); par != serial {
+		t.Errorf("par 8 tuner run differs from serial:\n%s\nvs\n%s", serial, par)
+	}
+}

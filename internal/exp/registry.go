@@ -118,6 +118,9 @@ var registry = map[string]runner{
 	"cluster": func(ctx context.Context, l *Lab) ([]Table, error) {
 		return l.Cluster(ctx, DefaultClusterConfig())
 	},
+	"maptune": func(ctx context.Context, l *Lab) ([]Table, error) {
+		return l.MapTune(ctx, DefaultMapTuneConfig())
+	},
 	"maxmap": func(ctx context.Context, l *Lab) ([]Table, error) {
 		t, err := MaxMapID()
 		if err != nil {
@@ -164,7 +167,7 @@ var AllIDs = []string{
 	"fig13", "fig14", "fig15", "fig16",
 	"maxmap", "ablations",
 	"cosched", "quant", "pimstyle", "energy", "serving", "serving2", "resilience",
-	"cluster",
+	"cluster", "maptune",
 }
 
 // Info describes one registered experiment for listings: the identifier
@@ -202,6 +205,7 @@ var titles = map[string]string{
 	"serving2":   "event-driven cooperative serving sweep",
 	"resilience": "fault-injection and degradation-policy sweep",
 	"cluster":    "fleet-scale heterogeneous serving with routing strategies",
+	"maptune":    "auto-tuned PA-to-DA mappings vs the fixed MapID family",
 }
 
 // Catalog returns every registered experiment in DESIGN.md order with

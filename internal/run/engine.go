@@ -233,6 +233,12 @@ func (e *Engine) runOne(ctx context.Context, id string, sc Scenario) ([]exp.Tabl
 			return nil, err
 		}
 		return e.lab.Cluster(ctx, cfg)
+	case "maptune":
+		cfg := exp.DefaultMapTuneConfig()
+		if err := sc.applyMapTune(&cfg); err != nil {
+			return nil, err
+		}
+		return e.lab.MapTune(ctx, cfg)
 	case "fig15", "fig16":
 		if sc.Queries <= 0 && sc.Seed == 0 {
 			return e.lab.Run(ctx, id)

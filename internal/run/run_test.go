@@ -108,6 +108,23 @@ func TestValidate(t *testing.T) {
 	if err := bad.Validate(); err == nil {
 		t.Error("unknown policy accepted")
 	}
+	bad = DefaultScenario()
+	bad.StealScore = "psychic"
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown stealscore accepted")
+	}
+	bad = DefaultScenario()
+	bad.TuneBudget = -3
+	if err := bad.Validate(); err == nil {
+		t.Error("negative tunebudget accepted")
+	}
+	ok := DefaultScenario()
+	ok.StealScore = "depth"
+	ok.TuneBudget = 128
+	ok.TuneSeed = 42
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid stealscore/tune fields rejected: %v", err)
+	}
 }
 
 // cheapEngine builds an engine suitable for fast registry-driven tests.

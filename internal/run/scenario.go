@@ -92,6 +92,16 @@ type Scenario struct {
 	// healthy device (0 = breaker-driven evacuation only, -1 = experiment
 	// default). Not omitempty, as for Steal.
 	StealThreshold int `json:"stealthreshold"`
+	// StealScore picks the cluster steal-destination scoring: "depth"
+	// (least-loaded) or "latency" (TTFT-EWMA expected-wait proxy);
+	// "" keeps the experiment default.
+	StealScore string `json:"stealscore,omitempty"`
+	// TuneBudget overrides the maptune candidate budget per cell
+	// (0 = experiment default).
+	TuneBudget int `json:"tunebudget,omitempty"`
+	// TuneSeed overrides the maptune mutation seed (0 = experiment
+	// default).
+	TuneSeed int64 `json:"tuneseed,omitempty"`
 }
 
 // DefaultScenario returns the scenario matching facilsim's flag
@@ -202,6 +212,9 @@ func (sc Scenario) Args() []string {
 	if sc.StealThreshold >= 0 {
 		args = append(args, "-stealthreshold", strconv.Itoa(sc.StealThreshold))
 	}
+	str("stealscore", sc.StealScore)
+	num("tunebudget", int64(sc.TuneBudget))
+	num("tuneseed", sc.TuneSeed)
 	return args
 }
 
@@ -226,6 +239,10 @@ func (sc Scenario) Validate() error {
 	}
 	cc := exp.DefaultClusterConfig()
 	if err := sc.applyCluster(&cc); err != nil {
+		return err
+	}
+	mt := exp.DefaultMapTuneConfig()
+	if err := sc.applyMapTune(&mt); err != nil {
 		return err
 	}
 	return nil
@@ -404,6 +421,29 @@ func (sc Scenario) applyCluster(cfg *exp.ClusterConfig) error {
 	}
 	if sc.StealThreshold >= 0 {
 		cfg.StealThreshold = sc.StealThreshold
+	}
+	switch sc.StealScore {
+	case "":
+	case "depth":
+		cfg.LatencySteal = false
+	case "latency":
+		cfg.LatencySteal = true
+	default:
+		return fmt.Errorf("run: bad stealscore %q (want depth or latency)", sc.StealScore)
+	}
+	return nil
+}
+
+// applyMapTune folds the scenario's overrides into a maptune config.
+func (sc Scenario) applyMapTune(cfg *exp.MapTuneConfig) error {
+	if sc.TuneBudget < 0 {
+		return fmt.Errorf("run: bad tunebudget %d (want >= 0)", sc.TuneBudget)
+	}
+	if sc.TuneBudget > 0 {
+		cfg.Budget = sc.TuneBudget
+	}
+	if sc.TuneSeed != 0 {
+		cfg.Seed = sc.TuneSeed
 	}
 	return nil
 }

@@ -1,0 +1,255 @@
+package tune
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"facil/internal/addr"
+	"facil/internal/mapping"
+)
+
+// maxXORPairs bounds a genome's hash-term list; beyond a handful the
+// terms only relabel banks without changing conflict structure.
+const maxXORPairs = 8
+
+// Genome encodes one generalized mapping candidate: an assignment of
+// every huge-page offset bit (LSB to MSB, above the byte-within-burst
+// offset) to a DRAM coordinate, plus optional XOR pairs folding
+// page-local row bits into bank or channel index bits. Bits of the same
+// coordinate keep their LSB-to-MSB order (reordering bits within one
+// field only relabels indices bijectively and cannot change timing), so
+// a genome is a canonical representative of its mapping.
+type Genome struct {
+	// Fields assigns each page-offset bit a coordinate; legal kinds are
+	// FieldColumn, FieldBank, FieldRank, FieldChannel and FieldRow.
+	Fields []addr.FieldKind
+	// XOR lists the hash terms (target bank/channel bit ^= row bit); row
+	// sources must be page-local (RowBit < Space.PageRowBits).
+	XOR []addr.XORPair
+}
+
+// Clone returns a deep copy safe to mutate.
+func (g Genome) Clone() Genome {
+	return Genome{
+		Fields: append([]addr.FieldKind(nil), g.Fields...),
+		XOR:    append([]addr.XORPair(nil), g.XOR...),
+	}
+}
+
+// fieldCode returns the one-letter key code for a page-bit coordinate.
+func fieldCode(k addr.FieldKind) byte {
+	switch k {
+	case addr.FieldColumn:
+		return 'c'
+	case addr.FieldBank:
+		return 'b'
+	case addr.FieldRank:
+		return 'k'
+	case addr.FieldChannel:
+		return 'h'
+	case addr.FieldRow:
+		return 'r'
+	default:
+		return '?'
+	}
+}
+
+// Key returns a canonical string identity for the genome (XOR pairs are
+// order-insensitive), used for memoization and deduplication.
+func (g Genome) Key() string {
+	var sb strings.Builder
+	sb.Grow(len(g.Fields) + 8*len(g.XOR))
+	for _, k := range g.Fields {
+		sb.WriteByte(fieldCode(k))
+	}
+	if len(g.XOR) > 0 {
+		pairs := append([]addr.XORPair(nil), g.XOR...)
+		sort.Slice(pairs, func(i, j int) bool {
+			if pairs[i].Target != pairs[j].Target {
+				return pairs[i].Target < pairs[j].Target
+			}
+			if pairs[i].TargetBit != pairs[j].TargetBit {
+				return pairs[i].TargetBit < pairs[j].TargetBit
+			}
+			return pairs[i].RowBit < pairs[j].RowBit
+		})
+		for _, p := range pairs {
+			fmt.Fprintf(&sb, "|%c%d^%d", fieldCode(p.Target), p.TargetBit, p.RowBit)
+		}
+	}
+	return sb.String()
+}
+
+// Describe renders the genome's page layout MSB-to-LSB with merged runs,
+// e.g. "row[1]:channel[4]:rank[1]:bank[4]:column[6]+xor(bank0^row0)".
+func (g Genome) Describe() string {
+	var parts []string
+	for i := len(g.Fields) - 1; i >= 0; {
+		k := g.Fields[i]
+		n := 1
+		for i-n >= 0 && g.Fields[i-n] == k {
+			n++
+		}
+		parts = append(parts, fmt.Sprintf("%s[%d]", k, n))
+		i -= n
+	}
+	s := strings.Join(parts, ":")
+	if len(g.XOR) > 0 {
+		var xs []string
+		for _, p := range g.XOR {
+			xs = append(xs, fmt.Sprintf("%s%d^row%d", p.Target, p.TargetBit, p.RowBit))
+		}
+		s += "+xor(" + strings.Join(xs, ",") + ")"
+	}
+	return s
+}
+
+// Validate checks that the genome is a legal, PIM-usable member of the
+// space: exact per-coordinate bit counts, the chunk column bits pinned
+// at the bottom, every column bit below every PU-changing bit, and XOR
+// terms sourced only from page-local row bits. It performs no heap
+// allocation on the success path, so the estimator can re-check cheaply.
+func (s *Space) Validate(g Genome) error {
+	if len(g.Fields) != s.pageBits {
+		return fmt.Errorf("tune: genome has %d page bits, space needs %d", len(g.Fields), s.pageBits)
+	}
+	var counts [6]int
+	lastCol, firstPU := -1, len(g.Fields)
+	for i, k := range g.Fields {
+		switch k {
+		case addr.FieldColumn:
+			lastCol = i
+		case addr.FieldBank, addr.FieldRank, addr.FieldChannel:
+			if i < firstPU {
+				firstPU = i
+			}
+		case addr.FieldRow:
+		default:
+			return fmt.Errorf("tune: page bit %d assigned illegal coordinate %v", i, k)
+		}
+		counts[k]++
+	}
+	if counts[addr.FieldColumn] != s.colBits {
+		return fmt.Errorf("tune: genome has %d column bits, geometry needs %d", counts[addr.FieldColumn], s.colBits)
+	}
+	if counts[addr.FieldBank] != s.bankBits {
+		return fmt.Errorf("tune: genome has %d bank bits, geometry needs %d", counts[addr.FieldBank], s.bankBits)
+	}
+	if counts[addr.FieldRank] != s.rankBits {
+		return fmt.Errorf("tune: genome has %d rank bits, geometry needs %d", counts[addr.FieldRank], s.rankBits)
+	}
+	if counts[addr.FieldChannel] != s.chBits {
+		return fmt.Errorf("tune: genome has %d channel bits, geometry needs %d", counts[addr.FieldChannel], s.chBits)
+	}
+	if counts[addr.FieldRow] != s.pageRowBits {
+		return fmt.Errorf("tune: genome has %d page row bits, layout needs %d", counts[addr.FieldRow], s.pageRowBits)
+	}
+	for i := 0; i < s.chunkPrefix; i++ {
+		if g.Fields[i] != addr.FieldColumn {
+			return fmt.Errorf("tune: page bit %d must stay a chunk column bit, got %v", i, g.Fields[i])
+		}
+	}
+	if lastCol > firstPU {
+		return fmt.Errorf("tune: column bit at %d above PU-changing bit at %d breaks chunk placement", lastCol, firstPU)
+	}
+	if len(g.XOR) > maxXORPairs {
+		return fmt.Errorf("tune: %d XOR pairs exceed the limit of %d", len(g.XOR), maxXORPairs)
+	}
+	for i, p := range g.XOR {
+		switch p.Target {
+		case addr.FieldBank:
+			if p.TargetBit < 0 || p.TargetBit >= s.bankBits {
+				return fmt.Errorf("tune: XOR target bank bit %d out of range", p.TargetBit)
+			}
+		case addr.FieldChannel:
+			if p.TargetBit < 0 || p.TargetBit >= s.chBits {
+				return fmt.Errorf("tune: XOR target channel bit %d out of range", p.TargetBit)
+			}
+		default:
+			return fmt.Errorf("tune: XOR target %v not supported", p.Target)
+		}
+		if p.RowBit < 0 || p.RowBit >= s.pageRowBits {
+			return fmt.Errorf("tune: XOR row source %d is not page-local (have %d page row bits)", p.RowBit, s.pageRowBits)
+		}
+		for j := 0; j < i; j++ {
+			if g.XOR[j] == p {
+				return fmt.Errorf("tune: duplicate XOR pair %s%d^row%d cancels itself", p.Target, p.TargetBit, p.RowBit)
+			}
+		}
+	}
+	return nil
+}
+
+// Build materializes the genome as a concrete address mapping: the page
+// bits become one-bit segments over addr.New, physical-address bits
+// above the huge page supply the remaining row MSBs, and the XOR pairs
+// wrap the result in an addr.HashedMapping. The built mapping translates
+// bit-identically to what the estimator models.
+func (s *Space) Build(g Genome) (*addr.HashedMapping, error) {
+	if err := s.Validate(g); err != nil {
+		return nil, err
+	}
+	geo := s.MC.Geometry
+	segs := make([]addr.Segment, 0, len(g.Fields)+2)
+	segs = append(segs, addr.Segment{Kind: addr.FieldOffset, Bits: geo.OffsetBits()})
+	for _, k := range g.Fields {
+		segs = append(segs, addr.Segment{Kind: k, Bits: 1})
+	}
+	segs = append(segs, addr.Segment{Kind: addr.FieldRow, Bits: geo.RowBits() - s.pageRowBits})
+	base, err := addr.New(geo, "tuned "+g.Describe(), segs)
+	if err != nil {
+		return nil, err
+	}
+	return addr.WithXOR(base, g.XOR)
+}
+
+// FromMapping encodes an existing page-permutation mapping (any MapID
+// family member) as a genome, or errors if the mapping permutes bits
+// outside the huge page.
+func (s *Space) FromMapping(m *addr.Mapping) (Genome, error) {
+	geo := s.MC.Geometry
+	offBits := geo.OffsetBits()
+	fields := make([]addr.FieldKind, s.pageBits)
+	pos := 0
+	for _, seg := range m.Segments() {
+		for b := 0; b < seg.Bits; b++ {
+			switch {
+			case pos < offBits:
+				if seg.Kind != addr.FieldOffset {
+					return Genome{}, fmt.Errorf("tune: mapping %q places %v in the burst offset", m.Name(), seg.Kind)
+				}
+			case pos < offBits+s.pageBits:
+				fields[pos-offBits] = seg.Kind
+			default:
+				if seg.Kind != addr.FieldRow {
+					return Genome{}, fmt.Errorf("tune: mapping %q places %v above the huge page", m.Name(), seg.Kind)
+				}
+			}
+			pos++
+		}
+	}
+	g := Genome{Fields: fields}
+	return g, s.Validate(g)
+}
+
+// Seeds returns the fixed MapID family encoded as genomes — the search's
+// starting population — together with the family IDs, index-aligned.
+func (s *Space) Seeds() ([]Genome, []mapping.MapID, error) {
+	tab, err := mapping.NewTable(s.MC, s.Chunk)
+	if err != nil {
+		return nil, nil, err
+	}
+	min, max := tab.Range()
+	genomes := make([]Genome, 0, int(max-min)+1)
+	ids := make([]mapping.MapID, 0, int(max-min)+1)
+	for id := min; id <= max; id++ {
+		g, err := s.FromMapping(tab.Lookup(id))
+		if err != nil {
+			return nil, nil, err
+		}
+		genomes = append(genomes, g)
+		ids = append(ids, id)
+	}
+	return genomes, ids, nil
+}

@@ -1,11 +1,17 @@
 #!/bin/sh
-# bench.sh — regenerate the committed perf baselines (BENCH_dram.json,
-# BENCH_serve.json, BENCH_cluster.json) and print the raw go-test
-# micro-benchmarks for eyeballing.
+# bench.sh — the single entry point for every committed perf baseline
+# (BENCH_*.json in the repo root) plus the raw go-test micro-benchmarks
+# for eyeballing.
 #
-# Run from the repo root on an otherwise idle machine:
+# Run from anywhere on an otherwise idle machine:
 #
-#   ./scripts/bench.sh            # refresh the baselines + print benches
+#   ./scripts/bench.sh            # refresh all baselines + print benches
+#
+# Each suite generates to a temp file, is checked non-empty, and only
+# then replaces the committed baseline, so an interrupted or failing run
+# never truncates one. After all suites run, the script fails if any
+# committed BENCH_*.json was NOT regenerated — adding a new baseline
+# without wiring its suite into this script is an error.
 #
 # BENCH_dram.json is the committed perf trajectory of the DRAM scheduler
 # hot path: ns/request and allocs/op for the optimized channel scheduler,
@@ -24,21 +30,52 @@
 # re-route (steal) phase, plus their ratio — the price of the migration
 # machinery. Compare before/after numbers when touching
 # internal/cluster.
+#
+# BENCH_tune.json covers the mapping auto-tuner: per-candidate cost of
+# the tier-one replay estimator vs the full FR-FCFS scheduler (and their
+# ratio, which the >= 100x acceptance gate enforces), end-to-end search
+# throughput, and estimator-vs-scheduler top-4 rank agreement over the
+# search survivors. Compare before/after numbers when touching
+# internal/tune.
 set -eu
 cd "$(dirname "$0")/.."
 
+# Raw micro-benchmarks (not committed; for eyeballing alongside the
+# baselines).
 go test ./internal/dram/ -run '^$' -bench 'BenchmarkChannelDrain|BenchmarkReferenceChannelDrain|BenchmarkReplayStream' -benchmem
 
 go test ./internal/serve/ -run '^$' -bench 'BenchmarkSimDrain|BenchmarkReferenceSimDrain' -benchmem
 
-go run ./cmd/facilsim -bench > BENCH_dram.json.tmp
-mv BENCH_dram.json.tmp BENCH_dram.json
-cat BENCH_dram.json
+go test ./internal/tune/ -run '^$' -bench 'BenchmarkEvaluatorScore|BenchmarkSearch' -benchmem
 
-go run ./cmd/facilsim -benchserve > BENCH_serve.json.tmp
-mv BENCH_serve.json.tmp BENCH_serve.json
-cat BENCH_serve.json
+# Committed baselines: "<suite> <facilsim flag>" pairs. Every committed
+# BENCH_<suite>.json must have a line here (the guard below enforces it).
+suites="
+dram -bench
+serve -benchserve
+cluster -benchcluster
+tune -benchtune
+"
 
-go run ./cmd/facilsim -benchcluster > BENCH_cluster.json.tmp
-mv BENCH_cluster.json.tmp BENCH_cluster.json
-cat BENCH_cluster.json
+echo "$suites" | while read -r name flag; do
+	[ -n "$name" ] || continue
+	go run ./cmd/facilsim "$flag" > "BENCH_$name.json.tmp"
+	if ! [ -s "BENCH_$name.json.tmp" ]; then
+		echo "bench.sh: $flag produced an empty BENCH_$name.json" >&2
+		rm -f "BENCH_$name.json.tmp"
+		exit 1
+	fi
+	mv "BENCH_$name.json.tmp" "BENCH_$name.json"
+	cat "BENCH_$name.json"
+done
+
+# Guard: every committed baseline must belong to a suite above, so none
+# can silently go stale.
+for f in BENCH_*.json; do
+	name=${f#BENCH_}
+	name=${name%.json}
+	if ! echo "$suites" | grep -q "^$name "; then
+		echo "bench.sh: committed baseline $f has no suite in this script — add one or remove the file" >&2
+		exit 1
+	fi
+done
